@@ -1,0 +1,88 @@
+(* CLI regenerating the paper's evaluation figures.
+
+   Examples:
+     dune exec bin/figures.exe -- --figure 6a
+     dune exec bin/figures.exe -- --figure all --threads 1,2,4,8,16 \
+       --duration 1.0 --runs 3
+     dune exec bin/figures.exe -- --figure 6b --full        # paper settings
+     dune exec bin/figures.exe -- --figure 8a --csv *)
+
+open Cmdliner
+
+let parse_threads s =
+  try Ok (List.map int_of_string (String.split_on_char ',' s))
+  with _ -> Error (`Msg "expected a comma-separated list of integers")
+
+let threads_conv = Arg.conv (parse_threads, fun ppf l ->
+    Format.fprintf ppf "%s" (String.concat "," (List.map string_of_int l)))
+
+let run_figures figure_str threads duration runs size_exp seed full csv =
+  let figures =
+    if figure_str = "all" then Harness.Figures.all
+    else
+      match Harness.Figures.of_string figure_str with
+      | Some f -> [ f ]
+      | None ->
+        Printf.eprintf "unknown figure %S (use 6a 6b 7a 7b 8a 8b or all)\n"
+          figure_str;
+        exit 2
+  in
+  let threads, duration, runs =
+    if full then ([ 1; 2; 4; 8; 16; 32; 64 ], 10.0, 10)
+    else (threads, duration, runs)
+  in
+  Printf.printf
+    "# Composing Relaxed Transactions - evaluation reproduction\n\
+     # threads axis: %s; duration/point: %.2fs; runs/point: %d; 2^%d elements\n\
+     # host: %d hardware core(s) - see EXPERIMENTS.md for the simulation note\n%!"
+    (String.concat "," (List.map string_of_int threads))
+    duration runs size_exp
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun f ->
+      let r =
+        Harness.Figures.run ~size_exp ~threads ~duration ~runs ~seed f
+      in
+      if csv then Format.printf "%a%!" Harness.Figures.pp_csv r
+      else Format.printf "%a%!" Harness.Figures.pp_result r)
+    figures;
+  0
+
+let cmd =
+  let figure =
+    Arg.(value & opt string "all" & info [ "figure"; "f" ] ~docv:"FIG"
+           ~doc:"Which figure to regenerate: 6a, 6b, 7a, 7b, 8a, 8b or all.")
+  in
+  let threads =
+    Arg.(value & opt threads_conv [ 1; 2; 4; 8 ] & info [ "threads"; "t" ]
+           ~docv:"LIST" ~doc:"Comma-separated thread counts.")
+  in
+  let duration =
+    Arg.(value & opt float 0.2 & info [ "duration"; "d" ] ~docv:"SECONDS"
+           ~doc:"Measured duration per point.")
+  in
+  let runs =
+    Arg.(value & opt int 1 & info [ "runs"; "r" ] ~docv:"N"
+           ~doc:"Runs averaged per point.")
+  in
+  let size_exp =
+    Arg.(value & opt int 12 & info [ "size-exp" ] ~docv:"K"
+           ~doc:"log2 of the initial structure size (paper: 12).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Workload seed (runs are deterministic given a seed).")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ]
+           ~doc:"Paper settings: threads 1..64, 10 runs of 10s per point.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.")
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the figures of Composing Relaxed Transactions (IPDPS'13)")
+    Term.(const run_figures $ figure $ threads $ duration $ runs $ size_exp
+          $ seed $ full $ csv)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Atomic Domain Harness List Oestm Printf Unix

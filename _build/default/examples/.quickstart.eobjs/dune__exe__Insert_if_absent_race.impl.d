@@ -1,0 +1,1 @@
+examples/insert_if_absent_race.ml: Classic_stm Eec Format Histories List Oestm Printf Recorder Schedsim Stm_core Stm_intf

@@ -1,0 +1,1 @@
+examples/insert_if_absent_race.mli:

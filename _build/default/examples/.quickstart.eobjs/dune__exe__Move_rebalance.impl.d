@@ -1,0 +1,1 @@
+examples/move_rebalance.ml: Atomic Domain Eec Harness List Oestm Printf Unix

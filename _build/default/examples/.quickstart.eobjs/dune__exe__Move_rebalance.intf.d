@@ -1,0 +1,1 @@
+examples/move_rebalance.mli:

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Atomic Domain Eec Int List Oestm Printf Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain Eec List Oestm Printf String

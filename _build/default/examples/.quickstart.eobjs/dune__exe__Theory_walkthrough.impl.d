@@ -1,0 +1,1 @@
+examples/theory_walkthrough.ml: Composition Event Format Histories History List Outheritance Printf Result Search Serializability Spec String

@@ -1,0 +1,111 @@
+(* A guided tour of the paper's theory (Sections II-IV), executable.
+
+   Walks through:
+   1. the Section II.B history that is relax-serializable but NOT
+      serializable (finer-grained interleaving than classic transactions
+      allow);
+   2. the Fig. 3 history of Theorem 4.2 - outheritance holds, weak
+      composability holds, but STRONG composability fails, showing why the
+      paper settles on the weak criterion;
+   3. minimal protected sets and kernels along the way.
+
+   Run with:  dune exec examples/theory_walkthrough.exe *)
+
+open Histories
+open Event
+
+let check name b = Printf.printf "  %-46s %s\n" name (if b then "yes" else "NO")
+
+let outcome = function
+  | Search.Witness_found -> true
+  | Search.No_witness -> false
+  | Search.Unknown -> failwith "search budget exhausted"
+
+(* ---------------------------------------------------------------- *)
+
+let section_2b () =
+  print_endline "== Section II.B: relaxation buys admissible histories ==";
+  (* t1 reads o1 and o2 then writes o3; t2 writes o1 and reads o3.
+     Values force t1 before t2 on o1 but t2 before t1 on o3: a cycle for
+     classic serializability that relax-serializability tolerates because
+     the protection elements never overlap. *)
+  let h =
+    History.of_list
+      [ Begin { tx = 1; proc = 1 };
+        Acquire { pe = 1; proc = 1 };
+        Op { obj = 1; tx = 1; op = op "read"; value = 0 };
+        Acquire { pe = 2; proc = 1 };
+        Op { obj = 2; tx = 1; op = op "read"; value = 0 };
+        Release { pe = 1; proc = 1 };
+        Begin { tx = 2; proc = 2 };
+        Acquire { pe = 1; proc = 2 };
+        Op { obj = 1; tx = 2; op = op ~arg:5 "write"; value = 5 };
+        Acquire { pe = 3; proc = 2 };
+        Op { obj = 3; tx = 2; op = op "read"; value = 0 };
+        Commit { tx = 2; proc = 2 };
+        Release { pe = 1; proc = 2 };
+        Release { pe = 3; proc = 2 };
+        Acquire { pe = 3; proc = 1 };
+        Op { obj = 3; tx = 1; op = op ~arg:7 "write"; value = 7 };
+        Commit { tx = 1; proc = 1 };
+        Release { pe = 2; proc = 1 };
+        Release { pe = 3; proc = 1 } ]
+  in
+  let env : Spec.env = fun _ -> Spec.register ~init:0 in
+  Format.printf "%a" History.pp h;
+  check "well-formed" (Result.is_ok (History.well_formed h));
+  check "serializable (classic)" (Serializability.serializable ~env h);
+  check "relax-serializable" (outcome (Serializability.relax_serializable ~env h));
+  print_newline ()
+
+let figure_3 () =
+  print_endline "== Fig. 3 / Theorem 4.2: outheritance vs strong composition ==";
+  (* x is a register (object 1), c a counter (object 2).  p1 composes
+     C = {t1, t3}; p2 runs t2 in the middle, incrementing the counter. *)
+  let h =
+    History.of_list
+      [ Begin { tx = 1; proc = 1 };
+        Acquire { pe = 1; proc = 1 };
+        Op { obj = 1; tx = 1; op = op ~arg:2 "write"; value = 2 };
+        Commit { tx = 1; proc = 1 };
+        Begin { tx = 3; proc = 1 };
+        Acquire { pe = 2; proc = 1 };
+        Op { obj = 2; tx = 3; op = op "inc"; value = 1 };
+        Release { pe = 2; proc = 1 };
+        Begin { tx = 2; proc = 2 };
+        Acquire { pe = 2; proc = 2 };
+        Op { obj = 2; tx = 2; op = op "inc"; value = 2 };
+        Commit { tx = 2; proc = 2 };
+        Release { pe = 2; proc = 2 };
+        Acquire { pe = 2; proc = 1 };
+        Op { obj = 2; tx = 3; op = op "inc"; value = 3 };
+        Release { pe = 2; proc = 1 };
+        Op { obj = 1; tx = 3; op = op "read"; value = 2 };
+        Commit { tx = 3; proc = 1 };
+        Release { pe = 1; proc = 1 } ]
+  in
+  let env : Spec.env =
+    fun objd -> if objd = 2 then Spec.counter else Spec.register ~init:0
+  in
+  Format.printf "%a" History.pp h;
+  let c = Composition.make_exn h [ 1; 3 ] in
+  Printf.printf "  Pmin(t1) = {%s}; Pmin(t3) = {%s}\n"
+    (String.concat "," (List.map (Printf.sprintf "l%d") (History.pmin h 1)))
+    (String.concat "," (List.map (Printf.sprintf "l%d") (History.pmin h 3)));
+  check "outheritance w.r.t. {t1,t3}" (Outheritance.satisfies h c);
+  check "relax-serializable" (outcome (Serializability.relax_serializable ~env h));
+  check "weakly composable (Theorem 4.4)"
+    (outcome (Composition.weakly_composable ~env h c));
+  check "strongly composable"
+    (outcome (Composition.strongly_composable ~env h c));
+  print_endline
+    "  -> the counter increments 1,2,3 pin t2 between t1 and t3: no\n\
+    \     serialisation can make the composition contiguous, yet every\n\
+    \     object in a member's kernel is untouched by t2 - weak\n\
+    \     composability is the right criterion, and outheritance is\n\
+    \     exactly what guarantees it.\n"
+
+let () =
+  section_2b ();
+  figure_3 ();
+  print_endline "theory walkthrough OK"

@@ -1,0 +1,236 @@
+(** Transactional boosting (Herlihy & Koskinen, PPoPP'08), composed through
+    outheritance.
+
+    Section VIII of the paper observes that boosting fits the protection
+    element model — one protection element per abstract lock — and that
+    "passing abstract locks from the child to the parent transaction would
+    make transactional boosting satisfy outheritance and therefore provide
+    composition".  This module is that sentence, executable:
+
+    - a boosted transaction pessimistically acquires {e abstract locks}
+      (one per semantic entity, e.g. per key of a set) before invoking an
+      operation of an underlying {e linearizable} object, and records an
+      {e inverse} operation in an undo log;
+    - on abort the undo log runs backwards and the locks are released;
+    - nested [atomic] blocks share the root's lock table and undo log, so
+      a child's abstract locks are held until the {e root} commits —
+      outheritance, and with it composition, by construction.
+
+    Deadlocks (two transactions acquiring locks in opposite orders) are
+    broken by bounded lock acquisition: a transaction that cannot get a
+    lock within its patience aborts, undoes, backs off and retries. *)
+
+open Stm_core
+
+exception Too_many_retries = Control.Starvation
+
+(** One abstract lock: a test-and-set lock with an owner, reentrant with
+    respect to one boosted transaction.  The [id] doubles as the
+    protection-element identifier when runs are recorded for the theory
+    checkers. *)
+module Abstract_lock = struct
+  type t = {
+    holder : int Atomic.t;  (* root transaction id, or -1 *)
+    id : int;
+  }
+
+  let next_id = Atomic.make 1_000_000  (* disjoint from tvar ids in practice *)
+
+  let create () =
+    { holder = Atomic.make (-1); id = Atomic.fetch_and_add next_id 1 }
+
+  let id t = t.id
+
+  let try_acquire t ~owner =
+    Atomic.get t.holder = owner
+    || Atomic.compare_and_set t.holder (-1) owner
+
+  let release t ~owner =
+    ignore (Atomic.compare_and_set t.holder owner (-1))
+
+  let held_by t = Atomic.get t.holder
+end
+
+type tx = {
+  root_id : int;
+  mutable locks : Abstract_lock.t list;  (* acquired, for release at root commit *)
+  mutable undo : (unit -> unit) list;    (* inverses, newest first *)
+  rec_state : Txrec.t option;            (* event recording, when enabled *)
+}
+
+let current : tx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let () =
+  Runtime.register_tls
+    ~save:(fun () -> Obj.repr (Domain.DLS.get current))
+    ~restore:(fun o -> Domain.DLS.set current (Obj.obj o : tx option))
+
+let stats = Stats.create ()
+
+let in_transaction () = Option.is_some (Domain.DLS.get current)
+
+(** Acquire an abstract lock for the running transaction (idempotent).
+    Aborts the transaction if the lock stays unavailable past the
+    transaction's patience. *)
+let acquire tx lock =
+  let patience = 1_000 in
+  let rec go n =
+    Runtime.schedule_point ();
+    if Abstract_lock.try_acquire lock ~owner:tx.root_id then begin
+      if
+        not
+          (List.exists (fun l -> l == (lock : Abstract_lock.t)) tx.locks)
+      then begin
+        tx.locks <- lock :: tx.locks;
+        Txrec.acquire tx.rec_state ~pe:(Abstract_lock.id lock)
+      end
+    end
+    else if n >= patience then Control.abort_tx Control.Lock_contention
+    else begin
+      Domain.cpu_relax ();
+      go (n + 1)
+    end
+  in
+  go 0
+
+(** Record the inverse of an operation about to be applied. *)
+let log_undo tx inverse = tx.undo <- inverse :: tx.undo
+
+let release_all tx =
+  List.iter (fun l -> Abstract_lock.release l ~owner:tx.root_id) tx.locks;
+  tx.locks <- []
+
+let rollback tx =
+  List.iter (fun inverse -> inverse ()) tx.undo;
+  tx.undo <- []
+
+(** Run a boosted transaction.  Nested calls share the root transaction's
+    lock table and undo log: the child's abstract locks are outherited and
+    released only at the root commit. *)
+let atomic f =
+  match Domain.DLS.get current with
+  | Some parent ->
+    (* Flat nesting with outheritance: everything the child acquires or
+       logs accumulates in the root's lock table and undo log.  The child
+       is a transaction of its own in the recorded history. *)
+    let child_id = Runtime.fresh_tx_id () in
+    Txrec.begin_tx parent.rec_state ~tx:child_id;
+    let result = f parent in
+    Txrec.commit_tx parent.rec_state ~tx:child_id;
+    result
+  | None ->
+    Retry_loop.run ~stats (fun ~attempt:_ ->
+        let tx =
+          { root_id = Runtime.fresh_tx_id (); locks = []; undo = [];
+            rec_state = Txrec.create () }
+        in
+        Domain.DLS.set current (Some tx);
+        Txrec.begin_tx tx.rec_state ~tx:tx.root_id;
+        try
+          let result = f tx in
+          (* Commit: changes are already applied to the base objects;
+             drop the undo log and release the locks. *)
+          tx.undo <- [];
+          Txrec.commit_tx tx.rec_state ~tx:tx.root_id;
+          release_all tx;
+          Txrec.release_remaining tx.rec_state;
+          Domain.DLS.set current None;
+          result
+        with e ->
+          rollback tx;
+          release_all tx;
+          Txrec.abort_open tx.rec_state;
+          Domain.DLS.set current None;
+          raise e)
+
+(* ------------------------------------------------------------------ *)
+(* A boosted set: striped abstract locks over a sequential hash set.    *)
+
+module type BOOSTABLE_SET = sig
+  type elt
+  type t
+
+  val create : unit -> t
+  val contains : t -> elt -> bool
+  val add : t -> elt -> bool
+  val remove : t -> elt -> bool
+end
+
+(** Boost a sequential set into a composable concurrent one.
+
+    Each key maps to one abstract lock (striped); [add]/[remove]/[contains]
+    acquire the key's lock, apply the sequential operation under it, and
+    log the inverse.  Two operations conflict exactly when their keys
+    collide on a stripe — the semantic conflict relation of boosting,
+    coarser-grained here than true per-key locks but with bounded memory. *)
+module Boost (Base : BOOSTABLE_SET) (K : sig
+  val hash : Base.elt -> int
+end) =
+struct
+  type elt = Base.elt
+
+  type t = {
+    base : Base.t;
+    stripes : Abstract_lock.t array;
+    base_mutex : Mutex.t;
+        (* The sequential structure itself is not thread-safe; distinct
+           keys on distinct stripes may still touch adjacent nodes, so the
+           actual base operation runs under a short critical section.
+           Abstract locks provide the *transactional* isolation (held to
+           the root commit); the mutex only protects physical integrity. *)
+  }
+
+  let create ?(stripes = 64) () =
+    { base = Base.create ();
+      stripes = Array.init stripes (fun _ -> Abstract_lock.create ());
+      base_mutex = Mutex.create () }
+
+  let lock_for t k = t.stripes.(K.hash k mod Array.length t.stripes)
+
+  let critical t f =
+    Mutex.lock t.base_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.base_mutex) f
+
+  let contains t k =
+    atomic (fun tx ->
+        acquire tx (lock_for t k);
+        critical t (fun () -> Base.contains t.base k))
+
+  let add t k =
+    atomic (fun tx ->
+        acquire tx (lock_for t k);
+        let changed = critical t (fun () -> Base.add t.base k) in
+        if changed then
+          log_undo tx (fun () ->
+              ignore (critical t (fun () -> Base.remove t.base k)));
+        changed)
+
+  let remove t k =
+    atomic (fun tx ->
+        acquire tx (lock_for t k);
+        let changed = critical t (fun () -> Base.remove t.base k) in
+        if changed then
+          log_undo tx (fun () ->
+              ignore (critical t (fun () -> Base.add t.base k)));
+        changed)
+
+  (* Compositions — identical in shape to the e.e.c ones: boosting with
+     outherited locks composes the same way elastic transactions do. *)
+
+  let add_all t ks =
+    atomic (fun _ -> List.fold_left (fun c k -> add t k || c) false ks)
+
+  let remove_all t ks =
+    atomic (fun _ -> List.fold_left (fun c k -> remove t k || c) false ks)
+
+  let insert_if_absent t ~ins ~guard =
+    atomic (fun _ -> if contains t guard then false else add t ins)
+
+  let move ~src ~dst k =
+    atomic (fun _ ->
+        if remove src k then begin
+          ignore (add dst k);
+          true
+        end
+        else false)
+end

@@ -1,0 +1,210 @@
+(** Classic (non-relaxed) software transactional memories.
+
+    TL2, LSA and SwissTM share one engine: invisible reads over versioned
+    locks, a write set installed at commit, and a global version clock.
+    They differ in three published design choices, captured by {!POLICY}:
+
+    - {b when write locks are acquired} — at commit (TL2) or at the write
+      itself (LSA, SwissTM), the latter detecting write/write conflicts
+      eagerly;
+    - {b whether the read validity interval can be extended} — TL2 aborts a
+      read of a version newer than its start time, LSA and SwissTM revalidate
+      the read set and slide the interval forward (lazy snapshot);
+    - {b the contention manager} — on a write-lock conflict a timid
+      transaction aborts itself, while SwissTM's two-phase manager lets
+      transactions that already performed enough updates spin briefly for
+      the lock before giving up (a simplification of its greedy manager
+      that preserves the "writers eventually win" behaviour without remote
+      aborts).
+
+    Nesting is flat: a nested [atomic] runs inside the parent's context, so
+    every location accessed by the child stays protected until the parent
+    commits — classic transactions satisfy outheritance by construction
+    (Section IV of the paper). *)
+
+open Stm_core
+
+module type POLICY = sig
+  val name : string
+
+  val eager_write_lock : bool
+  (** Acquire the write lock at the first [write] instead of at commit. *)
+
+  val extend_on_read : bool
+  (** Extend the validity interval (revalidating the read set) instead of
+      aborting when a too-new version is read. *)
+
+  val priority_spin : int
+  (** Bounded number of retries a priority transaction performs on a
+      write-lock conflict before aborting.  0 = timid. *)
+
+  val priority_threshold : int
+  (** Number of writes after which a transaction gains priority;
+      [max_int] = never. *)
+end
+
+module Make (P : POLICY) : Stm_intf.S = struct
+  let name = P.name
+
+  type 'a tvar = 'a Tvar.t
+
+  type ctx = {
+    tx_id : int;
+    mutable cur_tx : int;  (* innermost transaction id, for recording *)
+    mutable rv : int;      (* upper bound of the validity interval *)
+    rset : Rwsets.Rset.t;
+    wset : Rwsets.Wset.t;
+    rec_state : Txrec.t option;
+  }
+
+  let stats = Stats.create ()
+
+  let current : ctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+  let () =
+    Runtime.register_tls
+      ~save:(fun () -> Obj.repr (Domain.DLS.get current))
+      ~restore:(fun o -> Domain.DLS.set current (Obj.obj o : ctx option))
+
+  let tvar = Tvar.make
+  let peek = Tvar.peek
+  let unsafe_write = Tvar.unsafe_write
+  let tvar_id = Tvar.id
+  let in_transaction () = Option.is_some (Domain.DLS.get current)
+
+  let read : type a. ctx -> a tvar -> a =
+   fun ctx tv ->
+    Runtime.schedule_point ();
+    match Rwsets.Wset.find ctx.wset tv with
+    | Some v ->
+      Txrec.read ctx.rec_state ~tx:ctx.cur_tx ~pe:(Tvar.id tv)
+        ~repr:(Recorder.repr_of_value v);
+      v
+    | None ->
+      let s, v = Tvar.read_consistent tv in
+      if Vlock.version_of s > ctx.rv then begin
+        if not P.extend_on_read then Control.abort_tx Control.Read_too_new;
+        let now = Global_clock.now () in
+        if Rwsets.Rset.validate ctx.rset ~owner:ctx.tx_id then ctx.rv <- now
+        else Control.abort_tx Control.Read_too_new
+      end;
+      let pe = Tvar.id tv in
+      Txrec.acquire ctx.rec_state ~pe;
+      Vec.push ctx.rset { Rwsets.r_lock = tv.Tvar.lock; r_seen = s; r_pe = pe };
+      Txrec.read ctx.rec_state ~tx:ctx.cur_tx ~pe ~repr:(Recorder.repr_of_value v);
+      v
+
+  (* Eager lock acquisition with the two-phase contention manager: priority
+     transactions retry the lock a bounded number of times. *)
+  let acquire_write_lock ctx tv =
+    let spins =
+      if Rwsets.Wset.size ctx.wset >= P.priority_threshold then P.priority_spin
+      else 0
+    in
+    let rec go n =
+      if Rwsets.Wset.lock_one ctx.wset tv ~owner:ctx.tx_id then ()
+      else if n > 0 then begin
+        Domain.cpu_relax ();
+        go (n - 1)
+      end
+      else Control.abort_tx Control.Lock_contention
+    in
+    go spins
+
+  let write : type a. ctx -> a tvar -> a -> unit =
+   fun ctx tv v ->
+    Runtime.schedule_point ();
+    let pe = Tvar.id tv in
+    let first = Rwsets.Wset.add ctx.wset tv v in
+    if first then begin
+      Txrec.acquire ctx.rec_state ~pe;
+      if P.eager_write_lock then acquire_write_lock ctx tv
+    end;
+    Txrec.write ctx.rec_state ~tx:ctx.cur_tx ~pe ~repr:(Recorder.repr_of_value v)
+
+  let commit ctx =
+    Runtime.schedule_point ();
+    if not (Rwsets.Wset.is_empty ctx.wset) then begin
+      if not (Rwsets.Wset.lock_all ctx.wset ~owner:ctx.tx_id) then
+        Control.abort_tx Control.Lock_contention;
+      let wv = Global_clock.tick () in
+      if not (Rwsets.Rset.validate ctx.rset ~owner:ctx.tx_id) then begin
+        Rwsets.Wset.unlock_all_restore ctx.wset;
+        Control.abort_tx Control.Validation_failed
+      end;
+      Rwsets.Wset.install_and_unlock ctx.wset ~wv
+    end;
+    Txrec.commit_tx ctx.rec_state ~tx:ctx.tx_id;
+    Txrec.release_remaining ctx.rec_state
+
+  let run_nested ctx f =
+    let tx = Runtime.fresh_tx_id () in
+    let saved = ctx.cur_tx in
+    Txrec.begin_tx ctx.rec_state ~tx;
+    ctx.cur_tx <- tx;
+    let result = f ctx in
+    (* Flat nesting: the child's protected set simply stays in the parent's
+       read/write sets — outheritance by construction. *)
+    Txrec.commit_tx ctx.rec_state ~tx;
+    ctx.cur_tx <- saved;
+    result
+
+  let run_toplevel f =
+    Retry_loop.run ~stats (fun ~attempt:_ ->
+        let tx_id = Runtime.fresh_tx_id () in
+        let ctx =
+          { tx_id; cur_tx = tx_id; rv = Global_clock.now ();
+            rset = Rwsets.Rset.create (); wset = Rwsets.Wset.create ();
+            rec_state = Txrec.create () }
+        in
+        Domain.DLS.set current (Some ctx);
+        Txrec.begin_tx ctx.rec_state ~tx:ctx.tx_id;
+        (* The commit itself can abort, so it must run inside the cleanup
+           handler, not in the success branch of a match on [f ctx]. *)
+        try
+          let result = f ctx in
+          commit ctx;
+          Domain.DLS.set current None;
+          result
+        with e ->
+          Rwsets.Wset.unlock_all_restore ctx.wset;
+          Txrec.abort_open ctx.rec_state;
+          Domain.DLS.set current None;
+          raise e)
+
+  let atomic ?mode:_ f =
+    match Domain.DLS.get current with
+    | Some ctx -> run_nested ctx f
+    | None -> run_toplevel f
+end
+
+(** TL2 (Dice, Shalev, Shavit — DISC'06): commit-time locking, no interval
+    extension, timid contention management. *)
+module Tl2 = Make (struct
+  let name = "TL2"
+  let eager_write_lock = false
+  let extend_on_read = false
+  let priority_spin = 0
+  let priority_threshold = max_int
+end)
+
+(** LSA (Riegel, Felber, Fetzer — DISC'06): lazy snapshot with interval
+    extension and eager lock acquirement. *)
+module Lsa = Make (struct
+  let name = "LSA"
+  let eager_write_lock = true
+  let extend_on_read = true
+  let priority_spin = 0
+  let priority_threshold = max_int
+end)
+
+(** SwissTM (Dragojević, Felber, Gramoli, Guerraoui — CACM'11): eager
+    write/write conflict detection, lazy read validation with extension,
+    two-phase contention manager. *)
+module Swisstm = Make (struct
+  let name = "SwissTM"
+  let eager_write_lock = true
+  let extend_on_read = true
+  let priority_spin = 64
+  let priority_threshold = 10
+end)

@@ -1,0 +1,43 @@
+(** Classic (non-relaxed) software transactional memories — the paper's
+    baselines, sharing one engine parameterised by three published design
+    choices.  See the implementation header for the design discussion.
+
+    All three treat [~mode:Elastic] as [Regular] and nest flatly (a child
+    shares the parent's read and write sets), so they satisfy outheritance
+    — and hence composition — by construction, at the price of detecting
+    every conflict of the composition's whole footprint. *)
+
+module type POLICY = sig
+  val name : string
+
+  val eager_write_lock : bool
+  (** Acquire the write lock at the first [write] instead of at commit. *)
+
+  val extend_on_read : bool
+  (** Extend the validity interval (revalidating the read set) instead of
+      aborting when a too-new version is read. *)
+
+  val priority_spin : int
+  (** Bounded number of retries a priority transaction performs on a
+      write-lock conflict before aborting.  0 = timid. *)
+
+  val priority_threshold : int
+  (** Number of writes after which a transaction gains priority;
+      [max_int] = never. *)
+end
+
+module Make (P : POLICY) : Stm_core.Stm_intf.S
+
+(** TL2 (Dice, Shalev, Shavit — DISC'06): commit-time locking, no interval
+    extension, timid contention management. *)
+module Tl2 : Stm_core.Stm_intf.S
+
+(** LSA (Riegel, Felber, Fetzer — DISC'06): lazy snapshot with interval
+    extension and eager lock acquirement. *)
+module Lsa : Stm_core.Stm_intf.S
+
+(** SwissTM (Dragojević, Felber, Gramoli, Guerraoui — CACM'11): eager
+    write/write conflict detection, lazy read validation with extension,
+    two-phase contention manager (simplified: priority transactions spin
+    for contended locks instead of remotely aborting their enemies). *)
+module Swisstm : Stm_core.Stm_intf.S

@@ -1,0 +1,1 @@
+lib/eec/composed.ml: List Stm_core

@@ -1,0 +1,1 @@
+lib/eec/hash_set.ml: Array Composed List Printf Set_intf Sorted_chain Stm_core

@@ -1,0 +1,1 @@
+lib/eec/linked_list_set.ml: Composed List Set_intf Sorted_chain Stm_core

@@ -1,0 +1,1 @@
+lib/eec/set_intf.ml: Hashtbl Int Stm_core String

@@ -1,0 +1,1 @@
+lib/eec/skip_list_set.ml: Array Composed List Printf Set_intf Stm_core

@@ -1,0 +1,1 @@
+lib/eec/sorted_chain.ml: List Option Printf Set_intf Stm_core

@@ -1,0 +1,1 @@
+lib/eec/tx_map.ml: Hash_set Linked_list_set List Set_intf Skip_list_set Stm_core

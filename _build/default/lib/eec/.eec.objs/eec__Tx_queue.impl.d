@@ -1,0 +1,1 @@
+lib/eec/tx_queue.ml: List Stm_core

@@ -1,0 +1,38 @@
+(** The composed operations of the e.e.c package, built {e only} from the
+    primitive set operations by wrapping them in a new transaction — the
+    paper's composition pattern (Section VI, Fig. 5).  The code is shared by
+    all three data structures: composition does not care what is underneath. *)
+
+module Make
+    (S : Stm_core.Stm_intf.S) (Prim : sig
+      type t
+      type elt
+
+      val contains : t -> elt -> bool
+      val add : t -> elt -> bool
+      val remove : t -> elt -> bool
+    end) =
+struct
+  (* Like the paper's addAll: a loop of child [add] transactions inside one
+     parent transaction.  [fold_left] keeps evaluation order left to right
+     and avoids short-circuiting, so every child runs. *)
+  let add_all t elts =
+    S.atomic ~mode:Elastic (fun _ ->
+        List.fold_left (fun changed x -> Prim.add t x || changed) false elts)
+
+  let remove_all t elts =
+    S.atomic ~mode:Elastic (fun _ ->
+        List.fold_left (fun changed x -> Prim.remove t x || changed) false elts)
+
+  let insert_if_absent t ~ins ~guard =
+    S.atomic ~mode:Elastic (fun _ ->
+        if Prim.contains t guard then false else Prim.add t ins)
+
+  let move ~src ~dst x =
+    S.atomic ~mode:Elastic (fun _ ->
+        if Prim.remove src x then begin
+          ignore (Prim.add dst x);
+          true
+        end
+        else false)
+end

@@ -1,0 +1,92 @@
+(** HashSet of e.e.c: a fixed array of buckets, each a sorted transactional
+    chain.
+
+    The bucket count is configurable; the paper's Fig. 8 drives it through
+    the {e load factor} (elements per bucket), set to 512 to create long
+    chains and hence contention — the regime where elastic transactions pay
+    off.  [create] uses a moderate default; benchmarks construct via
+    [create_with_buckets]. *)
+
+module Make (S : Stm_core.Stm_intf.S) (K : Set_intf.ORDERED) : sig
+  include Set_intf.SET with type elt = K.t
+
+  val create_with_buckets : int -> t
+  val bucket_count : t -> int
+end = struct
+  module Chain = Sorted_chain.Make (S) (K)
+
+  type elt = K.t
+  type t = { buckets : Chain.node S.tvar array }
+
+  let create_with_buckets n =
+    if n <= 0 then invalid_arg "Hash_set.create_with_buckets";
+    { buckets = Array.init n (fun _ -> Chain.new_head ()) }
+
+  let create () = create_with_buckets 64
+  let bucket_count t = Array.length t.buckets
+
+  let bucket t k = t.buckets.(K.hash k mod Array.length t.buckets)
+
+  let contains t k =
+    S.atomic ~mode:Elastic (fun ctx -> Chain.contains_in ctx (bucket t k) k)
+
+  let find_opt t k =
+    S.atomic ~mode:Elastic (fun ctx -> Chain.find_in ctx (bucket t k) k)
+
+  let add t k = S.atomic ~mode:Elastic (fun ctx -> Chain.add_in ctx (bucket t k) k)
+
+  let remove t k =
+    S.atomic ~mode:Elastic (fun ctx -> Chain.remove_in ctx (bucket t k) k)
+
+  let size t =
+    S.atomic ~mode:Regular (fun ctx ->
+        Array.fold_left
+          (fun acc head -> Chain.fold_in ctx head ~init:acc ~f:(fun n _ -> n + 1))
+          0 t.buckets)
+
+  let to_list t =
+    S.atomic ~mode:Regular (fun ctx ->
+        Array.fold_left
+          (fun acc head ->
+            Chain.fold_in ctx head ~init:acc ~f:(fun l k -> k :: l))
+          [] t.buckets)
+    |> List.sort K.compare
+
+  module C =
+    Composed.Make
+      (S)
+      (struct
+        type nonrec t = t
+        type nonrec elt = elt
+
+        let contains = contains
+        let add = add
+        let remove = remove
+      end)
+
+  let add_all = C.add_all
+  let remove_all = C.remove_all
+  let insert_if_absent = C.insert_if_absent
+  let move = C.move
+
+  let unsafe_preload t keys =
+    let n = Array.length t.buckets in
+    let per_bucket = Array.make n [] in
+    List.iter
+      (fun k ->
+        let b = K.hash k mod n in
+        per_bucket.(b) <- k :: per_bucket.(b))
+      keys;
+    Array.iteri (fun i ks -> Chain.unsafe_build t.buckets.(i) ks) per_bucket
+
+  let check_invariants t =
+    let n = Array.length t.buckets in
+    let rec go i =
+      if i >= n then Ok ()
+      else
+        match Chain.check t.buckets.(i) with
+        | Error e -> Error (Printf.sprintf "bucket %d: %s" i e)
+        | Ok () -> go (i + 1)
+    in
+    go 0
+end

@@ -1,0 +1,56 @@
+(** LinkedListSet of e.e.c: a sorted singly-linked list.
+
+    Linear traversals make this the structure where elastic transactions
+    shine (Fig. 6 of the paper): a classic transaction aborts whenever the
+    already-traversed prefix changes, an elastic one only when its
+    immediate neighbourhood does. *)
+
+module Make (S : Stm_core.Stm_intf.S) (K : Set_intf.ORDERED) :
+  Set_intf.SET with type elt = K.t = struct
+  module Chain = Sorted_chain.Make (S) (K)
+
+  type elt = K.t
+  type t = { head : Chain.node S.tvar }
+
+  let create () = { head = Chain.new_head () }
+
+  let contains t k =
+    S.atomic ~mode:Elastic (fun ctx -> Chain.contains_in ctx t.head k)
+
+  let find_opt t k =
+    S.atomic ~mode:Elastic (fun ctx -> Chain.find_in ctx t.head k)
+
+  let add t k = S.atomic ~mode:Elastic (fun ctx -> Chain.add_in ctx t.head k)
+
+  let remove t k =
+    S.atomic ~mode:Elastic (fun ctx -> Chain.remove_in ctx t.head k)
+
+  (* Whole-structure reads need a consistent snapshot: regular mode. *)
+  let size t =
+    S.atomic ~mode:Regular (fun ctx ->
+        Chain.fold_in ctx t.head ~init:0 ~f:(fun n _ -> n + 1))
+
+  let to_list t =
+    S.atomic ~mode:Regular (fun ctx ->
+        List.rev (Chain.fold_in ctx t.head ~init:[] ~f:(fun acc k -> k :: acc)))
+
+  module C =
+    Composed.Make
+      (S)
+      (struct
+        type nonrec t = t
+        type nonrec elt = elt
+
+        let contains = contains
+        let add = add
+        let remove = remove
+      end)
+
+  let add_all = C.add_all
+  let remove_all = C.remove_all
+  let insert_if_absent = C.insert_if_absent
+  let move = C.move
+
+  let check_invariants t = Chain.check t.head
+  let unsafe_preload t keys = Chain.unsafe_build t.head keys
+end

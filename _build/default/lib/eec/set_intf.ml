@@ -1,0 +1,101 @@
+(** Interfaces of the e.e.c package (Section VI).
+
+    Every operation is a transaction of the underlying STM, so operations
+    compose: calling them inside another [S.atomic] block makes them child
+    transactions of it, and with an STM that satisfies outheritance the
+    composite is atomic.  The composed operations provided here
+    ([add_all], [remove_all], [insert_if_absent], [move], [size]) are
+    themselves written exactly that way — the package-level counterparts of
+    the JDK methods whose atomicity java.util.concurrent cannot promise. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+
+  val hash : t -> int
+  (** Used by the hash set for bucket selection and by the skip list to
+      derive tower heights deterministically. *)
+
+  val to_string : t -> string
+end
+
+module type SET = sig
+  type elt
+  type t
+
+  val create : unit -> t
+
+  (** {1 Primitive operations — one transaction each} *)
+
+  val contains : t -> elt -> bool
+
+  val find_opt : t -> elt -> elt option
+  (** The stored element that compares equal to the query, if any.  With
+      keys whose ordering ignores part of the element (e.g. map entries
+      compared on their key), this retrieves the stored payload. *)
+
+  val add : t -> elt -> bool
+  (** [true] when the element was absent and has been inserted. *)
+
+  val remove : t -> elt -> bool
+  (** [true] when the element was present and has been removed. *)
+
+  (** {1 Composed operations — transactions invoking child transactions} *)
+
+  val add_all : t -> elt list -> bool
+  (** Atomically insert every element; [true] if the set changed. *)
+
+  val remove_all : t -> elt list -> bool
+
+  val insert_if_absent : t -> ins:elt -> guard:elt -> bool
+  (** Insert [ins] only if [guard] is not present (the paper's
+      running example, Fig. 1); atomic as a whole. *)
+
+  val move : src:t -> dst:t -> elt -> bool
+  (** Atomically remove from [src] and insert into [dst] — Harris et al.'s
+      example of an operation locks and lock-free code cannot compose. *)
+
+  val size : t -> int
+  (** Atomic size — the operation the JDK's ConcurrentSkipListMap cannot
+      provide atomically. *)
+
+  val to_list : t -> elt list
+  (** Atomic snapshot of the contents, ascending. *)
+
+  val check_invariants : t -> (unit, string) result
+  (** Structural self-check (sortedness, no duplicates, tower/bucket
+      consistency); quiescent use only. *)
+
+  val unsafe_preload : t -> elt list -> unit
+  (** Bulk-load elements (deduplicated, any order) without transactions, in
+      linear time.  Only valid while no concurrent transactions exist —
+      benchmark and test setup. *)
+end
+
+module type MAKER = functor (S : Stm_core.Stm_intf.S) (K : ORDERED) ->
+  SET with type elt = K.t
+
+module Int_key : ORDERED with type t = int = struct
+  type t = int
+
+  let compare = Int.compare
+
+  (* SplitMix64-style finaliser: decorrelates consecutive integers, which
+     matters for skip-list tower heights. *)
+  let hash x =
+    let x = x * 0x9E3779B97F4A7C1 in
+    let x = (x lxor (x lsr 30)) * 0xBF58476D1CE4E5B lor 1 in
+    let x = (x lxor (x lsr 27)) * 0x94D049BB133111E lor 1 in
+    (x lxor (x lsr 31)) land max_int
+
+  let to_string = string_of_int
+end
+
+module String_key : ORDERED with type t = string = struct
+  type t = string
+
+  let compare = String.compare
+  let hash = Hashtbl.hash
+  let to_string s = s
+end

@@ -1,0 +1,194 @@
+(** SkipListSet of e.e.c: a sorted skip list.
+
+    Tower heights are derived from the key's hash, which keeps the
+    structure probabilistically balanced while making every execution
+    deterministic and thread-agnostic (no shared random state).  Updates
+    touch O(log n) towers, so — as Fig. 7 of the paper observes — elastic
+    transactions gain less here than on a linear list. *)
+
+module Make (S : Stm_core.Stm_intf.S) (K : Set_intf.ORDERED) :
+  Set_intf.SET with type elt = K.t = struct
+  type elt = K.t
+
+  let max_level = 16
+
+  type node =
+    | Nil
+    | Node of { key : K.t; next : node S.tvar array }
+
+  type t = { head : node S.tvar array }
+
+  let create () = { head = Array.init max_level (fun _ -> S.tvar Nil) }
+
+  (* Height of the tower for [key]: 1 + number of trailing ones of its
+     hash, capped — a geometric(1/2) distribution, deterministic per key. *)
+  let level_of key =
+    let h = K.hash key in
+    let rec count l h =
+      if l >= max_level then max_level else if h land 1 = 1 then count (l + 1) (h lsr 1) else l + 1
+    in
+    count 0 h
+
+  let node_next = function
+    | Nil -> invalid_arg "Skip_list_set.node_next"
+    | Node { next; _ } -> next
+
+  (* Search [k] from the top level down, keeping the last node seen with a
+     key below [k] (its tower necessarily reaches the current level, since
+     it was traversed there).  Returns per-level predecessor tvars — the
+     cells an insertion or unlink must rewrite — and successor nodes, plus
+     whether level 0 holds [k]. *)
+  let search ctx t k =
+    let preds = Array.make max_level t.head.(0) in
+    let succs = Array.make max_level Nil in
+    let pred_node = ref Nil in
+    (* [Nil] stands for the head sentinel here. *)
+    for level = max_level - 1 downto 0 do
+      let start =
+        match !pred_node with
+        | Nil -> t.head.(level)
+        | Node { next; _ } -> next.(level)
+      in
+      let rec forward (tv : node S.tvar) =
+        match S.read ctx tv with
+        | Nil -> (tv, Nil)
+        | Node { key; next } as cur ->
+          if K.compare key k < 0 then begin
+            pred_node := cur;
+            forward next.(level)
+          end
+          else (tv, cur)
+      in
+      let tv, succ = forward start in
+      preds.(level) <- tv;
+      succs.(level) <- succ
+    done;
+    let found =
+      match succs.(0) with Nil -> false | Node { key; _ } -> K.compare key k = 0
+    in
+    (preds, succs, found)
+
+  let contains t k =
+    S.atomic ~mode:Elastic (fun ctx ->
+        let _, _, found = search ctx t k in
+        found)
+
+  let find_opt t k =
+    S.atomic ~mode:Elastic (fun ctx ->
+        let _, succs, found = search ctx t k in
+        if found then
+          match succs.(0) with Nil -> None | Node { key; _ } -> Some key
+        else None)
+
+  (* Updates run as regular transactions: a skip-list update rewrites one
+     predecessor cell per level based on values read much earlier in the
+     search, so the whole search must stay validated — and the paper's
+     Fig. 7 observes that elasticity buys little on skip lists anyway.
+     [contains] stays elastic: its answer only depends on its last reads. *)
+  let add t k =
+    S.atomic ~mode:Regular (fun ctx ->
+        let preds, succs, found = search ctx t k in
+        if found then false
+        else begin
+          let lvl = level_of k in
+          let next = Array.init lvl (fun i -> S.tvar succs.(i)) in
+          let node = Node { key = k; next } in
+          for i = 0 to lvl - 1 do
+            S.write ctx preds.(i) node
+          done;
+          true
+        end)
+
+  let remove t k =
+    S.atomic ~mode:Regular (fun ctx ->
+        let preds, succs, found = search ctx t k in
+        if not found then false
+        else begin
+          let node = succs.(0) in
+          let next = node_next node in
+          let lvl = Array.length next in
+          for i = 0 to lvl - 1 do
+            (* preds.(i) points at [node] for every level the tower has. *)
+            S.write ctx preds.(i) (S.read ctx next.(i))
+          done;
+          true
+        end)
+
+  let fold ctx t ~init ~f =
+    let rec go acc tv =
+      match S.read ctx tv with
+      | Nil -> acc
+      | Node { key; next } -> go (f acc key) next.(0)
+    in
+    go init t.head.(0)
+
+  let size t =
+    S.atomic ~mode:Regular (fun ctx -> fold ctx t ~init:0 ~f:(fun n _ -> n + 1))
+
+  let to_list t =
+    S.atomic ~mode:Regular (fun ctx ->
+        List.rev (fold ctx t ~init:[] ~f:(fun acc k -> k :: acc)))
+
+  module C =
+    Composed.Make
+      (S)
+      (struct
+        type nonrec t = t
+        type nonrec elt = elt
+
+        let contains = contains
+        let add = add
+        let remove = remove
+      end)
+
+  let add_all = C.add_all
+  let remove_all = C.remove_all
+  let insert_if_absent = C.insert_if_absent
+  let move = C.move
+
+  let unsafe_preload t keys =
+    let keys = List.sort_uniq K.compare keys in
+    (* tails.(l): the cell that should point at the next node of level l. *)
+    let tails = Array.init max_level (fun i -> t.head.(i)) in
+    List.iter
+      (fun k ->
+        let lvl = level_of k in
+        let next = Array.init lvl (fun _ -> S.tvar Nil) in
+        let node = Node { key = k; next } in
+        for l = 0 to lvl - 1 do
+          S.unsafe_write tails.(l) node;
+          tails.(l) <- next.(l)
+        done)
+      keys
+
+  let check_invariants t =
+    (* Level-0 keys strictly ascending; every higher-level list is a
+       subsequence of level 0. *)
+    let rec keys acc tv level =
+      match S.peek tv with
+      | Nil -> List.rev acc
+      | Node { key; next } -> keys (key :: acc) next.(level) level
+    in
+    let level0 = keys [] t.head.(0) 0 in
+    let rec ascending = function
+      | [] | [ _ ] -> true
+      | a :: (b :: _ as rest) -> K.compare a b < 0 && ascending rest
+    in
+    if not (ascending level0) then Error "level-0 keys not ascending"
+    else begin
+      let ok = ref (Ok ()) in
+      for level = 1 to max_level - 1 do
+        if !ok = Ok () then begin
+          let upper = keys [] t.head.(level) level in
+          let is_sub =
+            List.for_all (fun k -> List.exists (fun k' -> K.compare k k' = 0) level0) upper
+          in
+          if not (ascending upper) then
+            ok := Error (Printf.sprintf "level-%d keys not ascending" level)
+          else if not is_sub then
+            ok := Error (Printf.sprintf "level-%d not a subsequence of level 0" level)
+        end
+      done;
+      !ok
+    end
+end

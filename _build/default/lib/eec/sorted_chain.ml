@@ -1,0 +1,98 @@
+(** Sorted singly-linked chains of transactional nodes — the building block
+    shared by {!Linked_list_set} (one chain) and {!Hash_set} (one chain per
+    bucket).
+
+    All functions run inside a caller-supplied transaction context; the
+    traversal performs transactional reads only until the write that links
+    or unlinks a node, which is precisely the access pattern elastic
+    transactions exploit (conflicts on the already-traversed prefix are
+    ignored). *)
+
+module Make (S : Stm_core.Stm_intf.S) (K : Set_intf.ORDERED) = struct
+  type node =
+    | Nil
+    | Node of { key : K.t; next : node S.tvar }
+
+  let new_head () : node S.tvar = S.tvar Nil
+
+  let rec find_in ctx (prev : node S.tvar) k =
+    match S.read ctx prev with
+    | Nil -> None
+    | Node { key; next } ->
+      let c = K.compare k key in
+      if c = 0 then Some key
+      else if c < 0 then None
+      else find_in ctx next k
+
+  let contains_in ctx prev k = Option.is_some (find_in ctx prev k)
+
+  let rec add_in ctx (prev : node S.tvar) k =
+    match S.read ctx prev with
+    | Nil ->
+      S.write ctx prev (Node { key = k; next = S.tvar Nil });
+      true
+    | Node { key; next } as cur ->
+      let c = K.compare k key in
+      if c = 0 then false
+      else if c < 0 then begin
+        S.write ctx prev (Node { key = k; next = S.tvar cur });
+        true
+      end
+      else add_in ctx next k
+
+  let rec remove_in ctx (prev : node S.tvar) k =
+    match S.read ctx prev with
+    | Nil -> false
+    | Node { key; next } ->
+      let c = K.compare k key in
+      if c = 0 then begin
+        (* Read the successor first, then unlink: both cells are then the
+           last two reads, exactly covered by the elastic window.
+
+           The rewrite of [next] (with its own value) is the tombstone of
+           Harris-style deletion: any concurrent update that resolved its
+           insertion or unlink point to the node being removed has [next]
+           in its write set too, so the conflict surfaces as write/write
+           instead of a silent store into a detached node.  Without it,
+           remove(1) || remove(3) on 1->3 can commit both while leaving 3
+           in the set — found by the exhaustive linearizability checker. *)
+        let succ = S.read ctx next in
+        S.write ctx next succ;
+        S.write ctx prev succ;
+        true
+      end
+      else if c < 0 then false
+      else remove_in ctx next k
+
+  let fold_in ctx (head : node S.tvar) ~init ~f =
+    let rec go acc tv =
+      match S.read ctx tv with
+      | Nil -> acc
+      | Node { key; next } -> go (f acc key) next
+    in
+    go init head
+
+  (* Quiescent bulk construction: overwrite the chain at [head] with the
+     given keys (sorted, deduplicated here). *)
+  let unsafe_build (head : node S.tvar) keys =
+    let keys = List.sort_uniq K.compare keys in
+    let chain =
+      List.fold_right (fun k acc -> Node { key = k; next = S.tvar acc }) keys Nil
+    in
+    S.unsafe_write head chain
+
+  (* Quiescent structural check: strictly ascending keys. *)
+  let check head =
+    let rec go last tv =
+      match S.peek tv with
+      | Nil -> Ok ()
+      | Node { key; next } -> (
+        match last with
+        | Some prev_key when K.compare prev_key key >= 0 ->
+          Error
+            (Printf.sprintf "chain out of order: %s then %s"
+               (K.to_string prev_key) (K.to_string key))
+        | _ -> go (Some key) next)
+    in
+    go None head
+end

@@ -1,0 +1,165 @@
+(** Transactional maps — the ConcurrentSkipListMap/ConcurrentHashMap side
+    of the package.
+
+    The paper's Section VI motivates e.e.c with methods the JDK cannot make
+    atomic ([size] of ConcurrentSkipListMap, bulk operations, ...).  A map
+    here is a set of entries compared on their key, each entry carrying its
+    value in a tvar of its own, so updating a binding never relinks the
+    structure.  Every operation is a transaction and composes like the set
+    operations do; [put_all], [remove_all] and [size] are themselves
+    compositions of the primitive ones. *)
+
+module type MAP = sig
+  type key
+  type value
+  type t
+
+  val create : unit -> t
+
+  (** {1 Primitive operations} *)
+
+  val get : t -> key -> value option
+  val mem : t -> key -> bool
+
+  val put : t -> key -> value -> value option
+  (** Bind [key] to [value]; returns the previous binding, if any. *)
+
+  val put_if_absent : t -> key -> value -> value option
+  (** Bind only when absent; returns the existing binding otherwise
+      (the JDK's [putIfAbsent], atomic). *)
+
+  val remove : t -> key -> value option
+
+  val update : t -> key -> (value option -> value option) -> value option
+  (** Atomic read-modify-write of one binding: the function receives the
+      current binding and returns the new one ([None] = remove).  Returns
+      the previous binding. *)
+
+  (** {1 Composed operations} *)
+
+  val put_all : t -> (key * value) list -> unit
+  val remove_all : t -> key list -> bool
+  val size : t -> int
+  val bindings : t -> (key * value) list
+  (** Atomic snapshot, ascending by key. *)
+
+  val check_invariants : t -> (unit, string) result
+end
+
+module Make
+    (S : Stm_core.Stm_intf.S)
+    (Mk : functor (S' : Stm_core.Stm_intf.S) (K : Set_intf.ORDERED) ->
+      Set_intf.SET with type elt = K.t)
+    (K : Set_intf.ORDERED) (V : sig
+      type t
+    end) : MAP with type key = K.t and type value = V.t = struct
+  type key = K.t
+  type value = V.t
+
+  (* Entries compare on the key alone; [slot] is [None] only in probe
+     entries used for lookups, never in stored ones. *)
+  module Entry = struct
+    type t = { key : K.t; slot : V.t S.tvar option }
+
+    let compare a b = K.compare a.key b.key
+    let hash e = K.hash e.key
+    let to_string e = K.to_string e.key
+  end
+
+  module Base = Mk (S) (Entry)
+
+  type t = Base.t
+
+  let create () = Base.create ()
+  let probe key = { Entry.key; slot = None }
+
+  let slot_exn (e : Entry.t) =
+    match e.slot with
+    | Some tv -> tv
+    | None -> invalid_arg "Tx_map: stored entry without a slot"
+
+  let read_slot tv = S.atomic ~mode:Elastic (fun ctx -> S.read ctx tv)
+  let write_slot tv v = S.atomic ~mode:Elastic (fun ctx -> S.write ctx tv v)
+
+  let get t key =
+    S.atomic ~mode:Elastic (fun _ ->
+        match Base.find_opt t (probe key) with
+        | None -> None
+        | Some e -> Some (read_slot (slot_exn e)))
+
+  let mem t key = Base.contains t (probe key)
+
+  let put t key value =
+    S.atomic ~mode:Elastic (fun _ ->
+        match Base.find_opt t (probe key) with
+        | Some e ->
+          let tv = slot_exn e in
+          let prev = read_slot tv in
+          write_slot tv value;
+          Some prev
+        | None ->
+          ignore (Base.add t { Entry.key; slot = Some (S.tvar value) });
+          None)
+
+  let put_if_absent t key value =
+    S.atomic ~mode:Elastic (fun _ ->
+        match Base.find_opt t (probe key) with
+        | Some e -> Some (read_slot (slot_exn e))
+        | None ->
+          ignore (Base.add t { Entry.key; slot = Some (S.tvar value) });
+          None)
+
+  let remove t key =
+    S.atomic ~mode:Elastic (fun _ ->
+        match Base.find_opt t (probe key) with
+        | None -> None
+        | Some e ->
+          let prev = read_slot (slot_exn e) in
+          ignore (Base.remove t (probe key));
+          Some prev)
+
+  let update t key f =
+    S.atomic ~mode:Elastic (fun _ ->
+        let previous =
+          match Base.find_opt t (probe key) with
+          | None -> None
+          | Some e -> Some (read_slot (slot_exn e))
+        in
+        (match f previous with
+        | Some v -> ignore (put t key v)
+        | None -> if previous <> None then ignore (Base.remove t (probe key)));
+        previous)
+
+  let put_all t kvs =
+    S.atomic ~mode:Elastic (fun _ ->
+        List.iter (fun (k, v) -> ignore (put t k v)) kvs)
+
+  let remove_all t keys =
+    S.atomic ~mode:Elastic (fun _ ->
+        List.fold_left (fun changed k -> remove t k <> None || changed) false keys)
+
+  let size t = Base.size t
+
+  let bindings t =
+    S.atomic ~mode:Regular (fun _ ->
+        Base.to_list t
+        |> List.map (fun (e : Entry.t) -> (e.key, read_slot (slot_exn e))))
+
+  let check_invariants t = Base.check_invariants t
+end
+
+(** The three concrete map flavours, mirroring the sets. *)
+module Skip_list (S : Stm_core.Stm_intf.S) (K : Set_intf.ORDERED) (V : sig
+  type t
+end) =
+  Make (S) (Skip_list_set.Make) (K) (V)
+
+module Linked_list (S : Stm_core.Stm_intf.S) (K : Set_intf.ORDERED) (V : sig
+  type t
+end) =
+  Make (S) (Linked_list_set.Make) (K) (V)
+
+module Hash (S : Stm_core.Stm_intf.S) (K : Set_intf.ORDERED) (V : sig
+  type t
+end) =
+  Make (S) (Hash_set.Make) (K) (V)

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Format Fun List Option Printf Sweep Target Workload

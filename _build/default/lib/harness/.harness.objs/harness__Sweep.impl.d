@@ -1,0 +1,1 @@
+lib/harness/sweep.ml: Array Atomic Domain List Prng Stm_core Target Unix Workload

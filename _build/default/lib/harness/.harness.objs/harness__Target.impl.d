@@ -1,0 +1,1 @@
+lib/harness/target.ml: Classic_stm Eec Oestm Printf Seqds Stats Stm_core Stm_intf Workload

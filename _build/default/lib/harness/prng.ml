@@ -1,0 +1,26 @@
+(** SplitMix64-style deterministic PRNG.
+
+    Each benchmark domain owns an independent stream derived from
+    [(run, domain)] so that workloads are reproducible bit-for-bit and
+    domains never contend on shared random state. *)
+
+type t = { mutable state : int }
+
+let golden = 0x1E3779B97F4A7C15
+
+let create ~seed = { state = (seed * 2 + 1) land max_int }
+
+let split t ~index = create ~seed:(t.state lxor ((index + 1) * golden))
+
+let next t =
+  t.state <- (t.state + golden) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0xBF58476D1CE4E5B lor 1 in
+  let z = (z lxor (z lsr 27)) * 0x94D049BB133111E lor 1 in
+  (z lxor (z lsr 31)) land max_int
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  next t mod bound
+
+let float t = float_of_int (next t) /. float_of_int max_int

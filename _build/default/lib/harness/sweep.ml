@@ -1,0 +1,63 @@
+(** The measurement driver: throughput (operations per millisecond) and
+    abort rate of one target at one thread count, averaged over several
+    timed runs — the methodology of Section VII.A (the paper uses 10 runs
+    of 10 s; the defaults here are scaled down so the whole matrix runs in
+    CI, and the paper settings are a flag away). *)
+
+type point = {
+  threads : int;
+  ops_per_ms : float;
+  abort_rate : float;
+  total_ops : int;
+  total_commits : int;
+  total_aborts : int;
+}
+
+let run_point (module T : Target.TARGET) ~cfg ~threads ~duration ~runs ~seed =
+  let one_run run_idx =
+    T.setup cfg;
+    T.reset_stats ();
+    let stop = Atomic.make false in
+    let ops_done = Array.make threads 0 in
+    let barrier = Atomic.make 0 in
+    let worker i () =
+      let rng =
+        Prng.split (Prng.create ~seed:(seed + run_idx)) ~index:i
+      in
+      ignore (Atomic.fetch_and_add barrier 1);
+      while Atomic.get barrier < threads do
+        Domain.cpu_relax ()
+      done;
+      let n = ref 0 in
+      while not (Atomic.get stop) do
+        T.run_op (Workload.gen_op cfg rng);
+        incr n
+      done;
+      ops_done.(i) <- !n
+    in
+    let t0 = Unix.gettimeofday () in
+    let domains = List.init threads (fun i -> Domain.spawn (worker i)) in
+    Unix.sleepf duration;
+    Atomic.set stop true;
+    List.iter Domain.join domains;
+    let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let ops = Array.fold_left ( + ) 0 ops_done in
+    (float_of_int ops /. elapsed_ms, ops)
+  in
+  let results = List.init runs one_run in
+  let throughputs = List.map fst results in
+  let total_ops = List.fold_left (fun a (_, n) -> a + n) 0 results in
+  let snap = T.abort_snapshot () in
+  { threads;
+    ops_per_ms =
+      List.fold_left ( +. ) 0.0 throughputs /. float_of_int runs;
+    abort_rate = Stm_core.Stats.abort_rate snap;
+    total_ops;
+    total_commits = snap.Stm_core.Stats.commits;
+    total_aborts = snap.Stm_core.Stats.aborts }
+
+(** One series: the same target across the thread axis. *)
+let run_series (module T : Target.TARGET) ~cfg ~threads ~duration ~runs ~seed =
+  List.map
+    (fun n -> run_point (module T : Target.TARGET) ~cfg ~threads:n ~duration ~runs ~seed)
+    threads

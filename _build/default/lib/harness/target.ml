@@ -1,0 +1,171 @@
+(** Benchmark targets: one (STM × structure) pair, or a bare sequential
+    structure, presented behind a uniform first-class-module interface so
+    the sweep driver is generic. *)
+
+open Stm_core
+
+type structure =
+  | Linked_list
+  | Skip_list
+  | Hash_set of { load_factor : int }
+        (** bucket count = initial size / load_factor (paper: 512) *)
+
+let structure_name = function
+  | Linked_list -> "LinkedListSet"
+  | Skip_list -> "SkipListSet"
+  | Hash_set { load_factor } -> Printf.sprintf "HashSet(lf=%d)" load_factor
+
+module type TARGET = sig
+  val name : string
+
+  val setup : Workload.config -> unit
+  (** Fresh structure, preloaded per the workload config. *)
+
+  val run_op : Workload.op -> unit
+
+  val abort_snapshot : unit -> Stats.snapshot
+  val reset_stats : unit -> unit
+end
+
+let buckets_for cfg load_factor = max 1 ((1 lsl cfg.Workload.size_exp) / load_factor)
+
+(* Wire one transactional structure into the TARGET interface. *)
+module Stm_target
+    (S : Stm_intf.S) (C : sig
+      val structure : structure
+    end) : TARGET =
+struct
+  module Ll = Eec.Linked_list_set.Make (S) (Eec.Set_intf.Int_key)
+  module Sk = Eec.Skip_list_set.Make (S) (Eec.Set_intf.Int_key)
+  module Hs = Eec.Hash_set.Make (S) (Eec.Set_intf.Int_key)
+
+  let name = S.name
+
+  type instance =
+    | I_ll of Ll.t
+    | I_sk of Sk.t
+    | I_hs of Hs.t
+
+  let cell : instance option ref = ref None
+
+  let setup cfg =
+    let keys = Workload.initial_keys cfg in
+    let inst =
+      match C.structure with
+      | Linked_list ->
+        let t = Ll.create () in
+        Ll.unsafe_preload t keys;
+        I_ll t
+      | Skip_list ->
+        let t = Sk.create () in
+        Sk.unsafe_preload t keys;
+        I_sk t
+      | Hash_set { load_factor } ->
+        let t = Hs.create_with_buckets (buckets_for cfg load_factor) in
+        Hs.unsafe_preload t keys;
+        I_hs t
+    in
+    cell := Some inst
+
+  let instance () =
+    match !cell with
+    | Some i -> i
+    | None -> invalid_arg "Target.run_op before setup"
+
+  let run_op op =
+    match (instance (), op) with
+    | I_ll t, Workload.Contains v -> ignore (Ll.contains t v)
+    | I_ll t, Workload.Add v -> ignore (Ll.add t v)
+    | I_ll t, Workload.Remove v -> ignore (Ll.remove t v)
+    | I_ll t, Workload.Add_all (a, b) -> ignore (Ll.add_all t [ a; b ])
+    | I_ll t, Workload.Remove_all (a, b) -> ignore (Ll.remove_all t [ a; b ])
+    | I_sk t, Workload.Contains v -> ignore (Sk.contains t v)
+    | I_sk t, Workload.Add v -> ignore (Sk.add t v)
+    | I_sk t, Workload.Remove v -> ignore (Sk.remove t v)
+    | I_sk t, Workload.Add_all (a, b) -> ignore (Sk.add_all t [ a; b ])
+    | I_sk t, Workload.Remove_all (a, b) -> ignore (Sk.remove_all t [ a; b ])
+    | I_hs t, Workload.Contains v -> ignore (Hs.contains t v)
+    | I_hs t, Workload.Add v -> ignore (Hs.add t v)
+    | I_hs t, Workload.Remove v -> ignore (Hs.remove t v)
+    | I_hs t, Workload.Add_all (a, b) -> ignore (Hs.add_all t [ a; b ])
+    | I_hs t, Workload.Remove_all (a, b) -> ignore (Hs.remove_all t [ a; b ])
+
+  let abort_snapshot () = Stats.snapshot S.stats
+  let reset_stats () = Stats.reset S.stats
+end
+
+(* The bare sequential baseline. *)
+module Seq_target (C : sig
+  val structure : structure
+end) : TARGET = struct
+  module Ll = Seqds.Linked_list (Seqds.Int_key)
+  module Sk = Seqds.Skip_list (Seqds.Int_key)
+  module Hs = Seqds.Hash (Seqds.Int_key)
+
+  let name = "Sequential"
+
+  type instance =
+    | I_ll of Ll.t
+    | I_sk of Sk.t
+    | I_hs of Hs.t
+
+  let cell : instance option ref = ref None
+
+  let setup cfg =
+    let keys = Workload.initial_keys cfg in
+    let inst =
+      match C.structure with
+      | Linked_list ->
+        let t = Ll.create () in
+        Ll.unsafe_preload t keys;
+        I_ll t
+      | Skip_list ->
+        let t = Sk.create () in
+        Sk.unsafe_preload t keys;
+        I_sk t
+      | Hash_set { load_factor } ->
+        let t = Hs.create_with_buckets (buckets_for cfg load_factor) in
+        Hs.unsafe_preload t keys;
+        I_hs t
+    in
+    cell := Some inst
+
+  let instance () =
+    match !cell with
+    | Some i -> i
+    | None -> invalid_arg "Target.run_op before setup"
+
+  let run_op op =
+    match (instance (), op) with
+    | I_ll t, Workload.Contains v -> ignore (Ll.contains t v)
+    | I_ll t, Workload.Add v -> ignore (Ll.add t v)
+    | I_ll t, Workload.Remove v -> ignore (Ll.remove t v)
+    | I_ll t, Workload.Add_all (a, b) -> ignore (Ll.add_all t [ a; b ])
+    | I_ll t, Workload.Remove_all (a, b) -> ignore (Ll.remove_all t [ a; b ])
+    | I_sk t, Workload.Contains v -> ignore (Sk.contains t v)
+    | I_sk t, Workload.Add v -> ignore (Sk.add t v)
+    | I_sk t, Workload.Remove v -> ignore (Sk.remove t v)
+    | I_sk t, Workload.Add_all (a, b) -> ignore (Sk.add_all t [ a; b ])
+    | I_sk t, Workload.Remove_all (a, b) -> ignore (Sk.remove_all t [ a; b ])
+    | I_hs t, Workload.Contains v -> ignore (Hs.contains t v)
+    | I_hs t, Workload.Add v -> ignore (Hs.add t v)
+    | I_hs t, Workload.Remove v -> ignore (Hs.remove t v)
+    | I_hs t, Workload.Add_all (a, b) -> ignore (Hs.add_all t [ a; b ])
+    | I_hs t, Workload.Remove_all (a, b) -> ignore (Hs.remove_all t [ a; b ])
+
+  let abort_snapshot () : Stats.snapshot =
+    { Stats.commits = 0; aborts = 0; by_reason = [] }
+
+  let reset_stats () = ()
+end
+
+(** The five series of every figure: Sequential, OE-STM, LSA, TL2, SwissTM. *)
+let series_for structure : (module TARGET) list =
+  let module C = struct
+    let structure = structure
+  end in
+  [ (module Seq_target (C) : TARGET);
+    (module Stm_target (Oestm.Oe) (C) : TARGET);
+    (module Stm_target (Classic_stm.Lsa) (C) : TARGET);
+    (module Stm_target (Classic_stm.Tl2) (C) : TARGET);
+    (module Stm_target (Classic_stm.Swisstm) (C) : TARGET) ]

@@ -1,0 +1,47 @@
+(** The paper's workload (Section VII.A).
+
+    A structure preloaded with [2^size_exp] elements over a key range of
+    [2^(size_exp+1)] (so single-element updates succeed with probability
+    about 1/2).  The operation mix is 80 % [contains] and 20 % attempted
+    updates, of which a configurable share are the composed
+    [add_all]/[remove_all] working on the pair {v, v/2}. *)
+
+type op =
+  | Contains of int
+  | Add of int
+  | Remove of int
+  | Add_all of int * int
+  | Remove_all of int * int
+
+type config = {
+  size_exp : int;       (** log2 of the initial element count (paper: 12) *)
+  update_ratio : float; (** fraction of ops that attempt an update (0.20) *)
+  bulk_ratio : float;   (** fraction of {e all} ops that are bulk (0.05 / 0.15) *)
+}
+
+let paper ?(size_exp = 12) ~bulk_ratio () =
+  { size_exp; update_ratio = 0.20; bulk_ratio }
+
+let key_range cfg = 1 lsl (cfg.size_exp + 1)
+
+(** The deterministic preload: even keys, giving exactly [2^size_exp]
+    elements with a 1/2 hit rate for uniform lookups. *)
+let initial_keys cfg = List.init (1 lsl cfg.size_exp) (fun i -> 2 * i)
+
+let gen_op cfg rng =
+  let range = key_range cfg in
+  let v = Prng.int rng range in
+  let r = Prng.float rng in
+  if r >= cfg.update_ratio then Contains v
+  else if r < cfg.bulk_ratio then
+    if Prng.int rng 2 = 0 then Add_all (v, (v + 1) / 2)
+    else Remove_all (v, (v + 1) / 2)
+  else if Prng.int rng 2 = 0 then Add v
+  else Remove v
+
+let op_to_string = function
+  | Contains v -> Printf.sprintf "contains %d" v
+  | Add v -> Printf.sprintf "add %d" v
+  | Remove v -> Printf.sprintf "remove %d" v
+  | Add_all (a, b) -> Printf.sprintf "addAll {%d,%d}" a b
+  | Remove_all (a, b) -> Printf.sprintf "removeAll {%d,%d}" a b

@@ -1,0 +1,1 @@
+lib/histories/composition.ml: Event History List Printf Search

@@ -1,0 +1,1 @@
+lib/histories/composition.mli: History Search Spec

@@ -1,0 +1,1 @@
+lib/histories/convert.ml: Event Hashtbl History Int List Map Option Recorder Spec Stm_core

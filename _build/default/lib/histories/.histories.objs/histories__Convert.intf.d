@@ -1,0 +1,1 @@
+lib/histories/convert.mli: History Spec Stm_core

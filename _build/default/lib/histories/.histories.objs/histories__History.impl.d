@@ -1,0 +1,1 @@
+lib/histories/history.ml: Array Event Format Hashtbl List Option Printf Spec

@@ -1,0 +1,1 @@
+lib/histories/history.mli: Event Format Spec

@@ -1,0 +1,1 @@
+lib/histories/outheritance.ml: Array Composition Event Format History List Option

@@ -1,0 +1,1 @@
+lib/histories/outheritance.mli: Composition Format History

@@ -1,0 +1,1 @@
+lib/histories/search.ml: Array Event Hashtbl History List Option Spec

@@ -1,0 +1,1 @@
+lib/histories/search.mli: Event History Spec

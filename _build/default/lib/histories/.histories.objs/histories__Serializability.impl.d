@@ -1,0 +1,1 @@
+lib/histories/serializability.ml: Event History List Search

@@ -1,0 +1,1 @@
+lib/histories/serializability.mli: History Search Spec

@@ -1,0 +1,1 @@
+lib/histories/spec.ml: Event List Printf

@@ -1,0 +1,154 @@
+(** Compositions and the two composability criteria (Section III). *)
+
+open Event
+
+type t = {
+  members : int list;  (** committed transactions, in commit order *)
+  comp_proc : int;
+}
+
+let sup c = List.nth c.members (List.length c.members - 1)
+let members c = c.members
+let mem c tx = List.mem tx c.members
+
+(** Validate Definition Section III: at least two transactions, all
+    committed, all by one process, forming a consecutive run of that
+    process's committed transactions in H (each member is immediately
+    followed — among the process's committed transactions — by another
+    member, except the supremum which follows all others). *)
+let make (h : History.t) txs =
+  if List.length txs < 2 then Error "a composition needs at least 2 transactions"
+  else
+    let committed = History.committed h in
+    match List.find_opt (fun t -> not (List.mem t committed)) txs with
+    | Some t -> Error (Printf.sprintf "t%d is not committed" t)
+    | None -> (
+      let procs = List.sort_uniq compare (List.map (History.proc_of_tx h) txs) in
+      match procs with
+      | [ p ] ->
+        (* Committed transactions of p, in commit order. *)
+        let of_p =
+          List.filter (fun t -> History.proc_of_tx h t = p) committed
+        in
+        let members = List.filter (fun t -> List.mem t txs) of_p in
+        (* Consecutiveness within of_p. *)
+        let rec consecutive = function
+          | [] | [ _ ] -> true
+          | a :: (b :: _ as rest) ->
+            let rec adjacent = function
+              | x :: y :: _ when x = a -> y = b
+              | _ :: tl -> adjacent tl
+              | [] -> false
+            in
+            adjacent of_p && consecutive rest
+        in
+        if consecutive members then Ok { members; comp_proc = p }
+        else Error "members are not consecutive committed transactions"
+      | _ -> Error "members span several processes")
+
+let make_exn h txs =
+  match make h txs with Ok c -> c | Error m -> invalid_arg ("Composition.make: " ^ m)
+
+(** Strong composability (Def 3.1): a witness S exists in which no foreign
+    transaction commits between two members of the composition — the
+    members' commits form a contiguous block in S's commit order. *)
+let strongly_composable ?budget ~env (h : History.t) (c : t) =
+  let prepared = Search.prepare h in
+  let member_commits =
+    List.filter_map
+      (fun tx ->
+        Search.find_coord prepared (function
+          | Commit { tx = t; _ } -> t = tx
+          | _ -> false))
+      c.members
+  in
+  let n_members = List.length c.members in
+  let admissible ~positions e =
+    match e with
+    | Commit { tx; _ } when not (mem c tx) ->
+      let seen =
+        List.length (List.filter (Search.consumed ~positions) member_commits)
+      in
+      seen = 0 || seen = n_members
+    | _ -> true
+  in
+  Search.exists_witness ?budget ~admissible ~env prepared
+
+(* The weak-composability constraint of one composition, as an [admissible]
+   predicate over the prepared search.
+
+   Reading Def 3.2 with the paper's transaction order (t ≺ t' iff commit(t)
+   precedes commit(t')): no transaction outside [c] that operates on an
+   object of member [t]'s kernel may COMMIT between [t]'s commit and the
+   supremum's commit.  The commit-order reading is also what makes strong
+   composability (Def 3.1, a constraint on commit order) the stronger of
+   the two criteria, as the paper presents it. *)
+let weak_admissible prepared (h : History.t) (c : t) =
+  let coord_of_commit tx =
+    Search.find_coord prepared (function
+      | Commit { tx = t; _ } -> t = tx
+      | _ -> false)
+  in
+  let sup_commit = coord_of_commit (sup c) in
+  let objs_of tx =
+    History.events h
+    |> List.filter_map (function
+         | Op { obj; tx = t; _ } when t = tx -> Some obj
+         | _ -> None)
+    |> List.sort_uniq compare
+  in
+  (* For each foreign transaction: the commits of members whose kernel it
+     touches.  Emitting that foreign commit while such a member has
+     committed but the supremum has not is a violation. *)
+  let foreign_constraints =
+    History.committed h
+    |> List.filter (fun t' -> not (mem c t'))
+    |> List.filter_map (fun t' ->
+           let touched = objs_of t' in
+           let member_commits =
+             List.filter_map
+               (fun t ->
+                 if List.exists (fun o -> List.mem o touched) (History.kernel h t)
+                 then coord_of_commit t
+                 else None)
+               c.members
+           in
+           if member_commits = [] then None else Some (t', member_commits))
+  in
+  fun ~positions e ->
+    match e with
+    | Commit { tx; _ } when not (mem c tx) -> (
+      match List.assoc_opt tx foreign_constraints with
+      | None -> true
+      | Some member_commits ->
+        let sup_done =
+          match sup_commit with
+          | Some cc -> Search.consumed ~positions cc
+          | None -> true
+        in
+        sup_done
+        || not
+             (List.exists (Search.consumed ~positions) member_commits))
+    | _ -> true
+
+(** Weak composability (Def 3.2): a witness S exists in which, for every
+    member [t] and every object [o] in [ker t] (computed on H), no foreign
+    transaction operates on [o] after [t]'s commit and before the commit of
+    [Sup(C)]. *)
+let weakly_composable ?budget ~env (h : History.t) (c : t) =
+  let prepared = Search.prepare h in
+  Search.exists_witness ?budget ~admissible:(weak_admissible prepared h c)
+    ~env prepared
+
+(** Joint weak composition-consistency: one witness S satisfying the weak
+    composability constraint of {e every} composition simultaneously.  This
+    is the property that catches mutual scenarios (two processes each
+    composing an insertIfAbsent) where each composition alone still admits
+    a witness but no single serialisation satisfies both. *)
+let weakly_consistent ?budget ~env (h : History.t) (cs : t list) =
+  let prepared = Search.prepare h in
+  let constraints = List.map (weak_admissible prepared h) cs in
+  let admissible ~positions e =
+    List.for_all (fun f -> f ~positions e) constraints
+  in
+  Search.exists_witness ?budget ~admissible ~env prepared

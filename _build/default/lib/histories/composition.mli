@@ -1,0 +1,45 @@
+(** Compositions (Section III) and the two composability criteria.
+
+    A composition is a consecutive run of committed transactions of one
+    process — the children of a composed operation, with the supremum the
+    last of them to commit.  The checkers decide the existence of an
+    equivalent relax-serial witness history satisfying each criterion by
+    exhaustive search ({!Search}). *)
+
+type t = {
+  members : int list;  (** committed transactions, in commit order *)
+  comp_proc : int;     (** the process that executed them *)
+}
+
+val make : History.t -> int list -> (t, string) result
+(** Validate the definition: at least two transactions, all committed, all
+    by one process, consecutive among that process's committed
+    transactions. *)
+
+val make_exn : History.t -> int list -> t
+val sup : t -> int
+val members : t -> int list
+val mem : t -> int -> bool
+
+val strongly_composable :
+  ?budget:int -> env:Spec.env -> History.t -> t -> Search.outcome
+(** Definition 3.1: a witness exists in which no foreign transaction
+    commits between two members — the members form a contiguous block of
+    the commit order. *)
+
+val weakly_composable :
+  ?budget:int -> env:Spec.env -> History.t -> t -> Search.outcome
+(** Definition 3.2: a witness exists in which no foreign transaction that
+    operates on an object of member [t]'s kernel commits between [t]'s
+    commit and the supremum's commit.  (Transactions are compared by
+    commit order, the paper's ≺; this is the reading under which strong
+    composability implies weak, as the paper presents them.) *)
+
+val weakly_consistent :
+  ?budget:int -> env:Spec.env -> History.t -> t list -> Search.outcome
+(** Weak composition-consistency with one shared witness: a single
+    serialisation satisfying every composition's weak constraint
+    simultaneously.  Strictly stronger than checking each composition
+    separately, and the property that catches mutual scenarios (e.g. two
+    processes each composing an insertIfAbsent against the other's key)
+    where per-composition witnesses exist but cannot coexist. *)

@@ -1,0 +1,93 @@
+(** Bridge from the STM runtime's recorded traces ({!Stm_core.Recorder}) to
+    formal histories.
+
+    Transactional variables become read/write registers: their id is both
+    the object id and the protection-element id.  Whole aborted top-level
+    attempts are removed — including the events of their already-committed
+    children and their acquire/release events — matching the paper's
+    convention of removing all events involving aborted transactions. *)
+
+open Stm_core
+
+(* Attribute every event to the enclosing top-level attempt of its process,
+   then drop the attempts that ended in an abort.  Protection-element events
+   after a top-level commit (the post-commit releases) belong to the
+   attempt that just finished. *)
+let attribute_attempts (events : Recorder.event list) =
+  let module M = Map.Make (Int) in
+  (* per proc: (current attempt id, depth, last finished attempt id) *)
+  let state = ref M.empty in
+  let next_attempt = ref 0 in
+  let aborted_attempts = Hashtbl.create 8 in
+  let proc_of_tx = Hashtbl.create 16 in
+  let tagged =
+    List.map
+      (fun (e : Recorder.event) ->
+        let current_of proc =
+          match M.find_opt proc !state with
+          | Some (cur, depth, last) -> (cur, depth, last)
+          | None -> (-1, 0, -1)
+        in
+        let tag =
+          match e with
+          | Begin { tx; proc } ->
+            Hashtbl.replace proc_of_tx tx proc;
+            let cur, depth, last = current_of proc in
+            if depth = 0 then begin
+              let id = !next_attempt in
+              incr next_attempt;
+              state := M.add proc (id, 1, last) !state;
+              id
+            end
+            else begin
+              state := M.add proc (cur, depth + 1, last) !state;
+              cur
+            end
+          | Commit { tx = _; proc } | Abort { tx = _; proc } ->
+            let cur, depth, _last = current_of proc in
+            (match e with
+            | Abort _ when depth >= 1 -> Hashtbl.replace aborted_attempts cur ()
+            | _ -> ());
+            if depth <= 1 then state := M.add proc (-1, 0, cur) !state
+            else state := M.add proc (cur, depth - 1, cur) !state;
+            cur
+          | Acquire { proc; _ } | Release { proc; _ } ->
+            let cur, depth, last = current_of proc in
+            if depth > 0 then cur else last
+          | Read { tx; _ } | Write { tx; _ } ->
+            let proc =
+              Option.value ~default:(-1) (Hashtbl.find_opt proc_of_tx tx)
+            in
+            let cur, depth, last = current_of proc in
+            if depth > 0 then cur else last
+        in
+        (tag, e))
+      events
+  in
+  List.filter_map
+    (fun (tag, e) ->
+      if Hashtbl.mem aborted_attempts tag then None else Some e)
+    tagged
+
+let to_history (events : Recorder.event list) : History.t =
+  let kept = attribute_attempts events in
+  kept
+  |> List.map (fun (e : Recorder.event) : Event.t ->
+         match e with
+         | Begin { tx; proc } -> Begin { tx; proc }
+         | Commit { tx; proc } -> Commit { tx; proc }
+         | Abort { tx; proc } -> Abort { tx; proc }
+         | Acquire { pe; proc } -> Acquire { pe; proc }
+         | Release { pe; proc } -> Release { pe; proc }
+         | Read { pe; tx; value_repr } ->
+           Op { obj = pe; tx; op = Event.op "read"; value = value_repr }
+         | Write { pe; tx; value_repr } ->
+           Op
+             { obj = pe; tx; op = Event.op ~arg:value_repr "write";
+               value = value_repr })
+  |> History.of_list
+
+(** Specification environment for a recorded run: every object is a
+    register whose initial value is the fingerprint of the initial content
+    of the corresponding tvar.  Build it from the tvars the test created. *)
+let register_env ~init_repr : Spec.env = Spec.all_registers ~init:init_repr

@@ -1,0 +1,49 @@
+(** Events of the paper's system model (Section II).
+
+    Operation invocation and response always occur back to back in the
+    model (each process is sequential and the transactional memory serves
+    one operation at a time), so we fuse each matching
+    [⟨op, o, t⟩ ⟨v, o, t⟩] pair into a single {!Op} event carrying both the
+    operation and its return value.  [opseq] of the paper is then just the
+    projection of {!Op} events to [(op, value)] pairs. *)
+
+type proc = int
+type tx = int
+type obj_id = int
+
+(** An operation together with its (optional) argument.  The argument is
+    part of the operation's identity: [write 2] and [write 3] are different
+    operations of a register. *)
+type op = {
+  name : string;
+  arg : int option;
+}
+
+type t =
+  | Begin of { tx : tx; proc : proc }
+  | Commit of { tx : tx; proc : proc }
+  | Abort of { tx : tx; proc : proc }
+  | Op of { obj : obj_id; tx : tx; op : op; value : int }
+      (** fused invocation + response: operation [op] on [obj] by [tx]
+          returned [value] *)
+  | Acquire of { pe : obj_id; proc : proc }
+      (** process [proc] acquires the protection element of object [pe] *)
+  | Release of { pe : obj_id; proc : proc }
+
+let op ?arg name = { name; arg }
+
+let pp_op ppf o =
+  match o.arg with
+  | None -> Format.fprintf ppf "%s()" o.name
+  | Some a -> Format.fprintf ppf "%s(%d)" o.name a
+
+let pp ppf = function
+  | Begin { tx; proc } -> Format.fprintf ppf "begin(t%d)@p%d" tx proc
+  | Commit { tx; proc } -> Format.fprintf ppf "commit(t%d)@p%d" tx proc
+  | Abort { tx; proc } -> Format.fprintf ppf "abort(t%d)@p%d" tx proc
+  | Op { obj; tx; op; value } ->
+    Format.fprintf ppf "%a->%d on o%d by t%d" pp_op op value obj tx
+  | Acquire { pe; proc } -> Format.fprintf ppf "acq(l%d)@p%d" pe proc
+  | Release { pe; proc } -> Format.fprintf ppf "rel(l%d)@p%d" pe proc
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,47 @@
+(** Outheritance (Definition 4.1).
+
+    A history H satisfies outheritance with respect to composition C
+    (executed by process p) when, for every member t and every protection
+    element in Pmin(t), no release of that element by p occurs between the
+    commit of t and the commit of Sup(C): the conflict information of each
+    child stays protected until the whole composition has committed. *)
+
+open Event
+
+let violations (h : History.t) (c : Composition.t) =
+  let p = c.Composition.comp_proc in
+  let sup = Composition.sup c in
+  let commit_idx tx =
+    match History.commit_pos h tx with
+    | Some i -> i
+    | None -> invalid_arg "Outheritance: member not committed"
+  in
+  let sup_commit = commit_idx sup in
+  List.concat_map
+    (fun tx ->
+      let tx_commit = commit_idx tx in
+      List.filter_map
+        (fun pe ->
+          (* A release of pe by p strictly between commit(t) and
+             commit(Sup(C)) breaks outheritance. *)
+          let offending = ref None in
+          Array.iteri
+            (fun i e ->
+              match e with
+              | Release { pe = q; proc } when
+                  q = pe && proc = p && i > tx_commit && i < sup_commit
+                  && !offending = None ->
+                offending := Some i
+              | _ -> ())
+            h;
+          Option.map (fun i -> (tx, pe, i)) !offending)
+        (History.pmin h tx))
+    c.Composition.members
+
+let satisfies h c = violations h c = []
+
+let pp_violation ppf (tx, pe, idx) =
+  Format.fprintf ppf
+    "protection element l%d of Pmin(t%d) released at position %d, before the \
+     supremum committed"
+    pe tx idx

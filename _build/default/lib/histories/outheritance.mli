@@ -1,0 +1,11 @@
+(** Outheritance (Definition 4.1): no protection element of a member's
+    minimal protected set may be released by the composing process between
+    that member's commit and the supremum's commit. *)
+
+val violations : History.t -> Composition.t -> (int * int * int) list
+(** [(tx, pe, position)] triples: protection element [pe] of [Pmin(tx)]
+    was released at event index [position], before the supremum committed. *)
+
+val satisfies : History.t -> Composition.t -> bool
+
+val pp_violation : Format.formatter -> int * int * int -> unit

@@ -1,0 +1,181 @@
+(** Witness search for the equivalence-based definitions of Sections II-III.
+
+    Relax-serializability, strong composability and weak composability all
+    have the same shape: {e does there exist a history S, equivalent to H
+    (same per-process event sequences), with <H ⊆ <S, that is relax-serial
+    and legal — and satisfies some extra property?}  We answer by exhaustive
+    DFS over the interleavings of the per-process sequences:
+
+    - per-process order is fixed (equivalence);
+    - emitting [begin t] requires every [t' <H t] to have committed already
+      ([<H ⊆ <S]);
+    - protection-element alternation is enforced online (relax-seriality);
+    - object states evolve by the serial specifications and a rejected step
+      prunes the branch (legality);
+    - the caller's [admissible] predicate prunes anything else (the extra
+      property).
+
+    Visited states are memoised on (positions, object states); the
+    protection-element occupancy is a function of the positions, so it does
+    not need to be part of the key. *)
+
+open Event
+
+type prepared = {
+  history : History.t;
+  slots : int array;                    (* slot -> proc id *)
+  seqs : Event.t array array;           (* slot -> that process's events *)
+  hb : (int, (int * int) list) Hashtbl.t;
+      (* tx -> commit coordinates that must be consumed before its begin *)
+}
+
+exception Budget_exhausted
+
+let prepare (h : History.t) =
+  if not (History.complete h) then
+    invalid_arg "Search.prepare: history has live transactions";
+  if History.aborted h <> [] then
+    invalid_arg "Search.prepare: drop aborted transactions first";
+  let procs = History.procs h in
+  let slots = Array.of_list procs in
+  let seqs =
+    Array.map (fun p -> Array.of_list (History.by_proc h p)) slots
+  in
+  (* Coordinates (slot, index) of each commit event. *)
+  let commit_coord = Hashtbl.create 16 in
+  Array.iteri
+    (fun s seq ->
+      Array.iteri
+        (fun i e ->
+          match e with
+          | Commit { tx; _ } -> Hashtbl.replace commit_coord tx (s, i)
+          | _ -> ())
+        seq)
+    seqs;
+  let hb = Hashtbl.create 16 in
+  List.iter
+    (fun (t, t') ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt hb t') in
+      match Hashtbl.find_opt commit_coord t with
+      | Some coord -> Hashtbl.replace hb t' (coord :: cur)
+      | None -> ())
+    (History.precedence_pairs h);
+  { history = h; slots; seqs; hb }
+
+(** Whether the event at [coord] has been consumed at [positions]. *)
+let consumed ~positions (slot, idx) = positions.(slot) > idx
+
+(** Coordinate of the first event satisfying [p], searching all slots. *)
+let find_coord prepared p =
+  let found = ref None in
+  Array.iteri
+    (fun s seq ->
+      Array.iteri
+        (fun i e -> if !found = None && p e then found := Some (s, i))
+        seq)
+    prepared.seqs;
+  !found
+
+(** Coordinate of the last event satisfying [p]. *)
+let find_last_coord prepared p =
+  let found = ref None in
+  Array.iteri
+    (fun s seq ->
+      Array.iteri (fun i e -> if p e then found := Some (s, i)) seq)
+    prepared.seqs;
+  !found
+
+type outcome = Witness_found | No_witness | Unknown
+
+(* Object states during the search: association list obj -> spec state,
+   kept sorted by object id so that it is canonical for memoisation. *)
+let step_states ~env states obj op value =
+  let spec : Spec.t = env obj in
+  let rec go = function
+    | [] -> (
+      match spec.Spec.step spec.Spec.init op value with
+      | None -> None
+      | Some s' -> Some [ (obj, s') ])
+    | ((o, s) as hd) :: rest ->
+      if o < obj then Option.map (fun r -> hd :: r) (go rest)
+      else if o = obj then
+        match spec.Spec.step s op value with
+        | None -> None
+        | Some s' -> Some ((o, s') :: rest)
+      else (
+        match spec.Spec.step spec.Spec.init op value with
+        | None -> None
+        | Some s' -> Some ((obj, s') :: hd :: rest))
+  in
+  go states
+
+let exists_witness ?(budget = 500_000)
+    ?(admissible = fun ~positions:_ _ -> true) ~env prepared =
+  let n_slots = Array.length prepared.seqs in
+  let total = Array.fold_left (fun acc s -> acc + Array.length s) 0 prepared.seqs in
+  let visited = Hashtbl.create 1024 in
+  let nodes = ref 0 in
+  (* held : pe -> proc currently holding it (position-derivable, threaded) *)
+  let rec dfs positions held states consumed_count =
+    if consumed_count = total then true
+    else begin
+      let key = (Array.to_list positions, states) in
+      if Hashtbl.mem visited key then false
+      else begin
+        incr nodes;
+        if !nodes > budget then raise Budget_exhausted;
+        let progressed = ref false in
+        let slot = ref 0 in
+        while (not !progressed) && !slot < n_slots do
+          let s = !slot in
+          incr slot;
+          if positions.(s) < Array.length prepared.seqs.(s) then begin
+            let e = prepared.seqs.(s).(positions.(s)) in
+            let proc = prepared.slots.(s) in
+            let ok_order =
+              match e with
+              | Begin { tx; _ } -> (
+                match Hashtbl.find_opt prepared.hb tx with
+                | None -> true
+                | Some coords -> List.for_all (consumed ~positions) coords)
+              | _ -> true
+            in
+            let ok_pe, held' =
+              match e with
+              | Acquire { pe; _ } ->
+                if List.mem_assoc pe held then (false, held)
+                else (true, (pe, proc) :: held)
+              | Release { pe; _ } -> (
+                match List.assoc_opt pe held with
+                | Some q when q = proc -> (true, List.remove_assoc pe held)
+                | _ -> (false, held))
+              | _ -> (true, held)
+            in
+            let ok_legal, states' =
+              match e with
+              | Op { obj; op; value; _ } -> (
+                match step_states ~env states obj op value with
+                | None -> (false, states)
+                | Some st -> (true, st))
+              | _ -> (true, states)
+            in
+            if ok_order && ok_pe && ok_legal && admissible ~positions e then begin
+              positions.(s) <- positions.(s) + 1;
+              if dfs positions held' states' (consumed_count + 1) then
+                progressed := true
+              else positions.(s) <- positions.(s) - 1
+            end
+          end
+        done;
+        if !progressed then true
+        else begin
+          Hashtbl.add visited key ();
+          false
+        end
+      end
+    end
+  in
+  match dfs (Array.make n_slots 0) [] [] 0 with
+  | true -> Witness_found
+  | false -> No_witness
+  | exception Budget_exhausted -> Unknown

@@ -1,0 +1,55 @@
+(** The witness-search engine behind every equivalence-based checker.
+
+    All the paper's "there exists a history S equivalent to H such that…"
+    definitions are decided by depth-first search over the interleavings
+    of H's per-process event sequences, with per-process order fixed
+    (equivalence), [<H ⊆ <S] and protection-element alternation enforced
+    online, object legality simulated through the serial specifications,
+    and an arbitrary extra predicate supplied by the caller.  Visited
+    states are memoised on (positions, object states), which keeps the
+    search polynomial-ish on the small histories the tests use. *)
+
+type prepared
+
+exception Budget_exhausted
+
+val prepare : History.t -> prepared
+(** Split a complete history (no live transactions; aborted ones removed)
+    into per-process sequences and precompute the [<H] constraints.
+    @raise Invalid_argument on incomplete histories. *)
+
+val consumed : positions:int array -> int * int -> bool
+(** Whether the event at coordinate (slot, index) has been consumed at the
+    given positions — the query primitive for [admissible] callbacks. *)
+
+val find_coord : prepared -> (Event.t -> bool) -> (int * int) option
+(** Coordinate of the first event satisfying the predicate. *)
+
+val find_last_coord : prepared -> (Event.t -> bool) -> (int * int) option
+
+type outcome =
+  | Witness_found
+  | No_witness
+  | Unknown  (** search budget exhausted before the tree was covered *)
+
+val step_states :
+  env:Spec.env ->
+  (int * Spec.state) list ->
+  int ->
+  Event.op ->
+  int ->
+  (int * Spec.state) list option
+(** Advance the per-object specification states by one operation; [None]
+    when the return value is not acceptable.  Exposed for the permutation
+    search of {!Serializability.serializable}. *)
+
+val exists_witness :
+  ?budget:int ->
+  ?admissible:(positions:int array -> Event.t -> bool) ->
+  env:Spec.env ->
+  prepared ->
+  outcome
+(** Does any interleaving survive all constraints to completion?
+    [admissible ~positions e] is consulted before emitting [e] with
+    [positions] the per-slot consumption counts; returning [false] prunes
+    the branch.  [budget] bounds visited nodes (default 500_000). *)

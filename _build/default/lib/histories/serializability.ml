@@ -1,0 +1,64 @@
+(** Serializability and relax-serializability checkers (Section II). *)
+
+open Event
+
+(** Strict serializability: is there a legal {e sequential} history S whose
+    committed operations are equivalent to H's (per-process order preserved)
+    with [<H ⊆ <S]?  Searched over permutations of committed transactions
+    that respect per-process order and [<H], with legality pruning. *)
+let serializable ~env (h : History.t) =
+  let committed = History.committed h in
+  let ops_of tx =
+    History.committed_ops h
+    |> List.filter_map (function
+         | Op { tx = t; obj; op; value } when t = tx -> Some (obj, op, value)
+         | _ -> None)
+  in
+  let per_proc_pred tx =
+    (* The previous committed transaction of the same process, if any. *)
+    let p = History.proc_of_tx h tx in
+    let same_proc =
+      List.filter (fun t -> History.proc_of_tx h t = p) committed
+    in
+    let rec prev acc = function
+      | [] -> None
+      | t :: _ when t = tx -> acc
+      | t :: rest -> prev (Some t) rest
+    in
+    (* committed h lists transactions in commit order, which for a single
+       sequential process is its execution order. *)
+    prev None same_proc
+  in
+  let hb = History.precedence_pairs h in
+  let must_precede tx =
+    List.filter_map (fun (a, b) -> if b = tx then Some a else None) hb
+    @ (match per_proc_pred tx with Some t -> [ t ] | None -> [])
+  in
+  let rec extend placed states remaining =
+    match remaining with
+    | [] -> true
+    | _ ->
+      List.exists
+        (fun tx ->
+          List.for_all (fun t -> List.mem t placed) (must_precede tx)
+          &&
+          let rec apply states = function
+            | [] -> Some states
+            | (obj, op, value) :: rest -> (
+              match Search.step_states ~env states obj op value with
+              | None -> None
+              | Some st -> apply st rest)
+          in
+          match apply states (ops_of tx) with
+          | None -> false
+          | Some states' ->
+            extend (tx :: placed) states'
+              (List.filter (fun t -> t <> tx) remaining))
+        remaining
+  in
+  extend [] [] committed
+
+(** Relax-serializability: is there a legal relax-serial history equivalent
+    to H with [<H ⊆ <S]? *)
+let relax_serializable ?budget ~env (h : History.t) =
+  Search.exists_witness ?budget ~env (Search.prepare h)

@@ -1,0 +1,14 @@
+(** Serializability and relax-serializability (Section II). *)
+
+val serializable : env:Spec.env -> History.t -> bool
+(** Strict serializability: a legal {e sequential} history exists whose
+    committed operations are equivalent to H's (per-process order
+    preserved) and that extends [<H].  Decided by searching transaction
+    permutations with legality pruning. *)
+
+val relax_serializable :
+  ?budget:int -> env:Spec.env -> History.t -> Search.outcome
+(** Relax-serializability (Section II.B): a legal {e relax-serial} history
+    equivalent to H with [<H ⊆ <S] exists.  A history that is
+    relax-serializable but not serializable "contains relaxed
+    transactions" in the paper's terminology. *)

@@ -1,0 +1,87 @@
+(** Serial specifications of objects (Weihl-style, Section II).
+
+    A specification decides which sequences of [(operation, return value)]
+    pairs are acceptable sequential behaviour.  We represent it as a state
+    machine whose state is a canonical [int list], which makes states
+    comparable and hashable — the witness searches of {!Serializability}
+    memoise on them. *)
+
+type state = int list
+
+type t = {
+  spec_name : string;
+  init : state;
+  step : state -> Event.op -> int -> state option;
+      (** [step s op v] is [Some s'] when applying [op] in state [s] may
+          return [v], leading to [s']; [None] when that return value is not
+          acceptable sequential behaviour. *)
+}
+
+let accepts t pairs =
+  let rec go s = function
+    | [] -> true
+    | (op, v) :: rest -> (
+      match t.step s op v with None -> false | Some s' -> go s' rest)
+  in
+  go t.init pairs
+
+(** Read/write register with initial value [init].  [read()] returns the
+    last written value; [write(v)] returns [v] (acknowledgement). *)
+let register ~init =
+  { spec_name = "register";
+    init = [ init ];
+    step =
+      (fun s op v ->
+        match (s, op.Event.name, op.Event.arg) with
+        | [ cur ], "read", None -> if v = cur then Some s else None
+        | [ _ ], "write", Some a -> if v = a then Some [ a ] else None
+        | _ -> None) }
+
+(** Counter starting at 0 whose [inc()] returns the {e new} value — the
+    object of the paper's Fig. 3, where three [inc] must return 1, 2, 3 in
+    order. *)
+let counter =
+  { spec_name = "counter";
+    init = [ 0 ];
+    step =
+      (fun s op v ->
+        match (s, op.Event.name, op.Event.arg) with
+        | [ cur ], "inc", None -> if v = cur + 1 then Some [ v ] else None
+        | [ cur ], "read", None -> if v = cur then Some s else None
+        | _ -> None) }
+
+(** Integer set: [add x] and [remove x] return 1 when they changed the set
+    and 0 otherwise; [contains x] returns membership.  State is the sorted
+    element list. *)
+let int_set =
+  let mem x s = List.exists (fun y -> y = x) s in
+  let insert x s = List.sort_uniq compare (x :: s) in
+  let delete x s = List.filter (fun y -> y <> x) s in
+  { spec_name = "int_set";
+    init = [];
+    step =
+      (fun s op v ->
+        match (op.Event.name, op.Event.arg) with
+        | "add", Some x ->
+          let changed = if mem x s then 0 else 1 in
+          if v = changed then Some (insert x s) else None
+        | "remove", Some x ->
+          let changed = if mem x s then 1 else 0 in
+          if v = changed then Some (delete x s) else None
+        | "contains", Some x ->
+          if v = if mem x s then 1 else 0 then Some s else None
+        | _ -> None) }
+
+(** Environment: which specification governs each object id. *)
+type env = Event.obj_id -> t
+
+let env_of_list l : env =
+ fun obj ->
+  match List.assoc_opt obj l with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Spec.env_of_list: no spec for object %d" obj)
+
+(** All objects are registers with initial value [init objd].  This is the
+    environment of histories recorded from STM runs, where every object is
+    a transactional variable. *)
+let all_registers ~init : env = fun obj -> register ~init:(init obj)

@@ -1,0 +1,376 @@
+(** OE-STM — the paper's contribution (Section V).
+
+    The engine implements the elastic transaction model of Felber, Gramoli
+    and Guerraoui (DISC'09): an [Elastic] transaction keeps only a short
+    sliding window of its most recent reads while it has not written, so
+    conflicts on the read-only prefix of a traversal are ignored; from the
+    first write on, every access is tracked and validated at commit
+    together with the window contents at the moment of the write.
+    [Regular] transactions track everything with TL2/LSA-style snapshot
+    validation.
+
+    The window spans the last {e two} reads, which is what
+    linked-structure updates need: an unlink reads the predecessor cell,
+    then the successor cell, then writes the predecessor — both reads must
+    still be valid at commit or a concurrent insertion between them is
+    silently overwritten (a lost update this repository's move/rebalance
+    example catches immediately with a size-1 window).
+
+    Nested transactions are where implementations differ, and this module is
+    parameterised by the {!nesting} policy:
+
+    - {!Outherit} — the child passes its read set, its last-read entry and
+      its write set to the parent at commit (Fig. 4 of the paper), so the
+      parent keeps detecting conflicts on everything the child protected
+      until the parent itself commits.  This satisfies outheritance and
+      therefore weak composability (Theorems 4.3 and 4.4).
+    - {!Drop} — the child's conflict information is discarded when it
+      commits, which is what composing elastic transactions naively does
+      (Fig. 1); the resulting STM admits non-atomic compositions, and the
+      test suite demonstrates it by exhaustive interleaving exploration.
+
+    One deliberate difference with the original E-STM: a child's writes are
+    kept pending in the (shared) top-level write set until the top-level
+    commit rather than being installed at child commit.  This is required
+    for the parent's isolation either way, and it only makes the [Drop]
+    instance {e more} protective than real E-STM — the composition
+    violations it exhibits come purely from the dropped read information,
+    exactly the phenomenon the paper describes. *)
+
+open Stm_core
+
+type nesting = Outherit | Drop
+
+module type CONFIG = sig
+  val name : string
+  val nesting : nesting
+
+  val window_size : int
+  (** Number of most-recent reads an elastic transaction keeps mutually
+      validated before its first write.  2 (the default instances) is what
+      linked-structure updates require; 1 is the ablation that loses
+      updates on chain unlinks (kept for the regression test). *)
+end
+
+module type S_EXT = sig
+  include Stm_intf.S
+
+  val release : ctx -> 'a tvar -> unit
+end
+
+module Make (C : CONFIG) : S_EXT = struct
+  let name = C.name
+
+  type 'a tvar = 'a Tvar.t
+
+  (* State shared by every nesting level of one top-level attempt. *)
+  type root = {
+    root_tx : int;           (* lock owner id for this attempt *)
+    wset : Rwsets.Wset.t;    (* shared: children's writes stay pending *)
+    mutable rv : int;        (* snapshot validity watermark *)
+    rec_state : Txrec.t option;
+  }
+
+  type ctx = {
+    tx_id : int;
+    mode : Stm_intf.mode;
+    root : root;
+    parent : ctx option;
+    rset_snap : Rwsets.Rset.t;
+        (* reads validated against [rv] when made (regular mode and
+           post-write elastic reads); consistent as a snapshot *)
+    rset_prot : Rwsets.Rset.t;
+        (* protected elastic entries: window entries promoted at the first
+           write or outherited from children; validated at commit *)
+    mutable w0 : Rwsets.rentry option;  (* most recent elastic read *)
+    mutable w1 : Rwsets.rentry option;  (* second most recent, unused when
+                                           [C.window_size] is 1 *)
+    mutable written : bool;
+  }
+
+  let keep_two = C.window_size >= 2
+
+  let stats = Stats.create ()
+
+  let current : ctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+  let () =
+    Runtime.register_tls
+      ~save:(fun () -> Obj.repr (Domain.DLS.get current))
+      ~restore:(fun o -> Domain.DLS.set current (Obj.obj o : ctx option))
+
+  let tvar = Tvar.make
+  let peek = Tvar.peek
+  let unsafe_write = Tvar.unsafe_write
+  let tvar_id = Tvar.id
+  let in_transaction () = Option.is_some (Domain.DLS.get current)
+
+  let entry_valid ~owner = function
+    | None -> true
+    | Some e -> Rwsets.rentry_valid ~owner e
+
+  let window_valid ~owner ctx =
+    entry_valid ~owner ctx.w0 && entry_valid ~owner ctx.w1
+
+  (* Every tracked observation of this level and its ancestors is still
+     valid.  Committed children have already merged their sets into their
+     parent, so walking the parent chain covers the whole transaction. *)
+  let rec validate_levels ~owner ctx =
+    Rwsets.Rset.validate ctx.rset_snap ~owner
+    && Rwsets.Rset.validate ctx.rset_prot ~owner
+    && window_valid ~owner ctx
+    && (match ctx.parent with None -> true | Some p -> validate_levels ~owner p)
+
+  let rec validate_protected ~owner ctx =
+    Rwsets.Rset.validate ctx.rset_prot ~owner
+    && window_valid ~owner ctx
+    && (match ctx.parent with
+       | None -> true
+       | Some p -> validate_protected ~owner p)
+
+  let rec protected_is_empty ctx =
+    Vec.is_empty ctx.rset_prot
+    && (match ctx.parent with None -> true | Some p -> protected_is_empty p)
+
+  let extend_or_abort ctx =
+    let owner = ctx.root.root_tx in
+    let now = Global_clock.now () in
+    if validate_levels ~owner ctx then ctx.root.rv <- now
+    else Control.abort_tx Control.Read_too_new
+
+  let read : type a. ctx -> a tvar -> a =
+   fun ctx tv ->
+    Runtime.schedule_point ();
+    match Rwsets.Wset.find ctx.root.wset tv with
+    | Some v ->
+      Txrec.read ctx.root.rec_state ~tx:ctx.tx_id ~pe:(Tvar.id tv)
+        ~repr:(Recorder.repr_of_value v);
+      v
+    | None ->
+      let s, v = Tvar.read_consistent tv in
+      let pe = Tvar.id tv in
+      let entry = { Rwsets.r_lock = tv.Tvar.lock; r_seen = s; r_pe = pe } in
+      let owner = ctx.root.root_tx in
+      if ctx.mode = Elastic && not ctx.written then begin
+        (* Elastic prefix: the new read must be mutually atomic with the
+           reads still in the window; anything older is forgotten (the
+           relaxation). *)
+        if not (window_valid ~owner ctx) then
+          Control.abort_tx Control.Window_invalid;
+        Txrec.acquire ctx.root.rec_state ~pe;
+        if keep_two then begin
+          (match ctx.w1 with
+          | Some dropped ->
+            Txrec.release ctx.root.rec_state ~pe:dropped.Rwsets.r_pe
+          | None -> ());
+          ctx.w1 <- ctx.w0
+        end
+        else
+          (match ctx.w0 with
+          | Some dropped ->
+            Txrec.release ctx.root.rec_state ~pe:dropped.Rwsets.r_pe
+          | None -> ());
+        ctx.w0 <- Some entry
+      end
+      else begin
+        if Vlock.version_of s > ctx.root.rv then extend_or_abort ctx;
+        Txrec.acquire ctx.root.rec_state ~pe;
+        Vec.push ctx.rset_snap entry
+      end;
+      Txrec.read ctx.root.rec_state ~tx:ctx.tx_id ~pe
+        ~repr:(Recorder.repr_of_value v);
+      v
+
+  let write : type a. ctx -> a tvar -> a -> unit =
+   fun ctx tv v ->
+    Runtime.schedule_point ();
+    let pe = Tvar.id tv in
+    if not ctx.written then begin
+      ctx.written <- true;
+      (* Promote the window: from the first write on its reads belong to
+         the minimal protected set (Section V: Pmin = {r_k, ..., r_n}). *)
+      Option.iter (Vec.push ctx.rset_prot) ctx.w1;
+      Option.iter (Vec.push ctx.rset_prot) ctx.w0;
+      ctx.w0 <- None;
+      ctx.w1 <- None
+    end;
+    let first = Rwsets.Wset.add ctx.root.wset tv v in
+    if first then Txrec.acquire ctx.root.rec_state ~pe;
+    Txrec.write ctx.root.rec_state ~tx:ctx.tx_id ~pe
+      ~repr:(Recorder.repr_of_value v)
+
+  (* DSTM-style early release (Section II.A of the paper: "the protection
+     element is released when the release operation of the transactional
+     memory is called").  Drops every tracked read of [tv] from the running
+     transaction — all nesting levels — so later conflicts on it are
+     ignored.  The caller asserts that its postcondition no longer depends
+     on the location; misuse trades atomicity for concurrency exactly as
+     in DSTM. *)
+  let release : type a. ctx -> a tvar -> unit =
+   fun ctx tv ->
+    let pe = Tvar.id tv in
+    let drop_entry (e : Rwsets.rentry) = e.Rwsets.r_pe <> pe in
+    let rec walk level =
+      let dropped =
+        Vec.filter_in_place drop_entry level.rset_snap
+        + Vec.filter_in_place drop_entry level.rset_prot
+      in
+      let dropped = ref dropped in
+      (match level.w0 with
+      | Some e when e.Rwsets.r_pe = pe ->
+        level.w0 <- None;
+        incr dropped
+      | _ -> ());
+      (match level.w1 with
+      | Some e when e.Rwsets.r_pe = pe ->
+        level.w1 <- None;
+        incr dropped
+      | _ -> ());
+      for _ = 1 to !dropped do
+        Txrec.release ctx.root.rec_state ~pe
+      done;
+      match level.parent with None -> () | Some p -> walk p
+    in
+    walk ctx
+
+  (* Child commit, part 1 (before the commit event): with [Drop], the child
+     validates itself at its own commit, as E-STM does. *)
+  let validate_child child =
+    match C.nesting with
+    | Outherit -> ()
+    | Drop ->
+      let owner = child.root.root_tx in
+      if
+        not
+          (Rwsets.Rset.validate child.rset_snap ~owner
+          && Rwsets.Rset.validate child.rset_prot ~owner
+          && window_valid ~owner child)
+      then Control.abort_tx Control.Validation_failed
+
+  (* Child commit, part 2 (after the commit event): outherit the protected
+     set to the parent, or drop it (releasing the protection elements — the
+     composition-breaking behaviour of Fig. 1). *)
+  let close_child ~parent child =
+    match C.nesting with
+    | Outherit ->
+      Vec.append_into ~src:child.rset_snap ~dst:parent.rset_snap;
+      Vec.append_into ~src:child.rset_prot ~dst:parent.rset_prot;
+      Option.iter (Vec.push parent.rset_prot) child.w1;
+      Option.iter (Vec.push parent.rset_prot) child.w0;
+      if child.written && not parent.written then begin
+        parent.written <- true;
+        Option.iter (Vec.push parent.rset_prot) parent.w1;
+        Option.iter (Vec.push parent.rset_prot) parent.w0;
+        parent.w0 <- None;
+        parent.w1 <- None
+      end
+    | Drop ->
+      let release (e : Rwsets.rentry) =
+        Txrec.release child.root.rec_state ~pe:e.Rwsets.r_pe
+      in
+      Vec.iter release child.rset_snap;
+      Vec.iter release child.rset_prot;
+      Option.iter release child.w1;
+      Option.iter release child.w0
+
+  let commit_root ctx =
+    Runtime.schedule_point ();
+    let owner = ctx.root.root_tx in
+    if Rwsets.Wset.is_empty ctx.root.wset then begin
+      (* Read-only.  A lone elastic transaction needs no commit validation
+         (it serialised at its last read); only outherited protected sets
+         must still hold, so that composed children appear adjacent. *)
+      if not (protected_is_empty ctx) && not (validate_protected ~owner ctx)
+      then Control.abort_tx Control.Validation_failed
+    end
+    else begin
+      if not (Rwsets.Wset.lock_all ctx.root.wset ~owner) then
+        Control.abort_tx Control.Lock_contention;
+      let wv = Global_clock.tick () in
+      if not (validate_levels ~owner ctx) then begin
+        Rwsets.Wset.unlock_all_restore ctx.root.wset;
+        Control.abort_tx Control.Validation_failed
+      end;
+      Rwsets.Wset.install_and_unlock ctx.root.wset ~wv
+    end;
+    Txrec.commit_tx ctx.root.rec_state ~tx:ctx.tx_id;
+    Txrec.release_remaining ctx.root.rec_state
+
+  let run_nested parent mode f =
+    let child =
+      { tx_id = Runtime.fresh_tx_id (); mode; root = parent.root;
+        parent = Some parent; rset_snap = Rwsets.Rset.create ();
+        rset_prot = Rwsets.Rset.create (); w0 = None; w1 = None;
+        written = false }
+    in
+    Txrec.begin_tx child.root.rec_state ~tx:child.tx_id;
+    Domain.DLS.set current (Some child);
+    match f child with
+    | result ->
+      validate_child child;
+      Txrec.commit_tx child.root.rec_state ~tx:child.tx_id;
+      close_child ~parent child;
+      Domain.DLS.set current (Some parent);
+      result
+    | exception e ->
+      (* Aborts unwind to the top-level retry loop (flat nesting). *)
+      Domain.DLS.set current (Some parent);
+      raise e
+
+  let run_toplevel mode f =
+    Retry_loop.run ~stats (fun ~attempt:_ ->
+        let root_tx = Runtime.fresh_tx_id () in
+        let root =
+          { root_tx; wset = Rwsets.Wset.create (); rv = Global_clock.now ();
+            rec_state = Txrec.create () }
+        in
+        let ctx =
+          { tx_id = root_tx; mode; root; parent = None;
+            rset_snap = Rwsets.Rset.create ();
+            rset_prot = Rwsets.Rset.create (); w0 = None; w1 = None;
+            written = false }
+        in
+        Domain.DLS.set current (Some ctx);
+        Txrec.begin_tx root.rec_state ~tx:root_tx;
+        (* The commit itself can abort, so it must run inside the cleanup
+           handler, not in the success branch of a match on [f ctx]. *)
+        try
+          let result = f ctx in
+          commit_root ctx;
+          Domain.DLS.set current None;
+          result
+        with e ->
+          Rwsets.Wset.unlock_all_restore root.wset;
+          Txrec.abort_open root.rec_state;
+          Domain.DLS.set current None;
+          raise e)
+
+  let atomic ?(mode = Stm_intf.Regular) f =
+    match Domain.DLS.get current with
+    | Some parent -> run_nested parent mode f
+    | None -> run_toplevel mode f
+end
+
+(** The paper's OE-STM: elastic transactions that compose. *)
+module Oe = Make (struct
+  let name = "OE-STM"
+  let nesting = Outherit
+  let window_size = 2
+end)
+
+(** Elastic transactions composed without outheritance — the broken
+    composition of Fig. 1, kept as an executable counterexample. *)
+module E_broken = Make (struct
+  let name = "E-STM(drop)"
+  let nesting = Drop
+  let window_size = 2
+end)
+
+(** Ablation: a one-read window.  Unsafe for chain updates (an unlink's
+    predecessor read escapes validation — see the module comment); the
+    test suite demonstrates the lost update by exhaustive exploration. *)
+module Oe_window1 = Make (struct
+  let name = "OE-STM(w1)"
+  let nesting = Outherit
+  let window_size = 1
+end)

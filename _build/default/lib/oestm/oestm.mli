@@ -1,0 +1,55 @@
+(** OE-STM — elastic transactions with outheritance (the paper's Section V).
+
+    See the implementation header for the full design discussion.  The
+    essentials:
+
+    - [Elastic] transactions keep a two-read sliding window over their
+      read-only prefix, ignoring conflicts on everything older (the
+      elastic relaxation of Felber et al., DISC'09); from the first write
+      on, the window is promoted into the protected read set and every
+      further access is tracked.
+    - Nested transactions either {e outherit} — pass their protected sets
+      to the parent at commit, Fig. 4 of the paper — or {e drop} them,
+      which reproduces the broken composition of Fig. 1 and is kept as an
+      executable counterexample. *)
+
+type nesting =
+  | Outherit  (** child passes read set, window and writes to its parent *)
+  | Drop      (** child conflict information is discarded at child commit *)
+
+module type CONFIG = sig
+  val name : string
+  val nesting : nesting
+
+  val window_size : int
+  (** Number of most-recent reads an elastic transaction keeps mutually
+      validated before its first write.  2 (the default instances) is what
+      linked-structure updates require; 1 is the ablation that loses
+      updates on chain unlinks (kept for the regression test). *)
+end
+
+(** {!Stm_core.Stm_intf.S} extended with DSTM-style early release
+    (Section II.A: the protection element of a location can be released
+    before commit by an explicit call; the caller takes responsibility
+    that its postcondition no longer depends on the location). *)
+module type S_EXT = sig
+  include Stm_core.Stm_intf.S
+
+  val release : ctx -> 'a tvar -> unit
+  (** Drop every tracked read of the variable from the running
+      transaction: later conflicts on it no longer abort this
+      transaction.  Writes are unaffected. *)
+end
+
+module Make (C : CONFIG) : S_EXT
+
+(** The paper's OE-STM: elastic transactions that compose. *)
+module Oe : S_EXT
+
+(** Elastic transactions composed without outheritance — the broken
+    composition of Fig. 1, kept as an executable counterexample. *)
+module E_broken : S_EXT
+
+(** Ablation: a one-read window ("the immediate past read", read
+    literally).  Unsafe for chain updates; see [test/test_ablation.ml]. *)
+module Oe_window1 : S_EXT

@@ -1,0 +1,1 @@
+lib/schedsim/explore.ml: Format Fun List Runtime Sched Stm_core String

@@ -1,0 +1,1 @@
+lib/schedsim/explore.mli: Format Sched

@@ -1,0 +1,1 @@
+lib/schedsim/sched.ml: Array Effect List Obj Runtime Stm_core

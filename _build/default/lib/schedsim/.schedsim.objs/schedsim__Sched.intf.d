@@ -1,0 +1,1 @@
+lib/schedsim/sched.mli:

@@ -1,0 +1,91 @@
+open Stm_core
+
+type scenario = {
+  procs : unit -> (unit -> unit) list;
+  check : Sched.outcome -> bool;
+}
+
+type result =
+  | All_ok of { explored : int }
+  | Violation of { schedule : int list; explored : int }
+  | Out_of_budget of { explored : int }
+
+exception Found of int list
+exception Budget
+
+let explore ?(max_runs = 20_000) ?(max_steps = 20_000) ?(retry_cap = 1_000)
+    scenario =
+  let explored = ref 0 in
+  let saved_cap = !Runtime.retry_cap in
+  Runtime.retry_cap := retry_cap;
+  let run_one schedule =
+    if !explored >= max_runs then raise Budget;
+    incr explored;
+    let procs = scenario.procs () in
+    let outcome, trace = Sched.run_schedule ~max_steps ~schedule procs in
+    if not (scenario.check outcome) then
+      raise (Found (List.map (fun c -> c.Sched.chosen) trace));
+    trace
+  in
+  (* DFS with replay: run the default extension of [prefix], then branch on
+     every not-yet-taken alternative at every decision point after the
+     prefix. *)
+  let rec dfs prefix =
+    let trace = run_one prefix in
+    let choices = List.map (fun c -> c.Sched.chosen) trace in
+    let n_prefix = List.length prefix in
+    List.iteri
+      (fun i (c : Sched.choice) ->
+        if i >= n_prefix then
+          for alt = c.chosen + 1 to List.length c.ready - 1 do
+            let new_prefix = List.filteri (fun j _ -> j < i) choices @ [ alt ] in
+            dfs new_prefix
+          done)
+      trace
+  in
+  Fun.protect
+    ~finally:(fun () -> Runtime.retry_cap := saved_cap)
+    (fun () ->
+      match dfs [] with
+      | () -> All_ok { explored = !explored }
+      | exception Found schedule ->
+        Violation { schedule; explored = !explored }
+      | exception Budget -> Out_of_budget { explored = !explored })
+
+let sample ?(runs = 1_000) ?(max_steps = 20_000) ?(retry_cap = 1_000)
+    ?(seed = 1) scenario =
+  let saved_cap = !Runtime.retry_cap in
+  Runtime.retry_cap := retry_cap;
+  Fun.protect
+    ~finally:(fun () -> Runtime.retry_cap := saved_cap)
+    (fun () ->
+      let rng = ref (seed lor 1) in
+      let next () =
+        rng := (!rng * 48271) mod 2147483647;
+        !rng
+      in
+      let rec go i =
+        if i >= runs then All_ok { explored = runs }
+        else begin
+          let procs = scenario.procs () in
+          let pick ~step:_ ~ready = next () mod List.length ready in
+          let outcome, trace = Sched.run ~max_steps ~pick procs in
+          if not (scenario.check outcome) then
+            Violation
+              { schedule = List.map (fun c -> c.Sched.chosen) trace;
+                explored = i + 1 }
+          else go (i + 1)
+        end
+      in
+      go 0)
+
+let pp_result ppf = function
+  | All_ok { explored } ->
+    Format.fprintf ppf "all %d interleavings OK" explored
+  | Violation { schedule; explored } ->
+    Format.fprintf ppf "violation after %d interleavings; schedule = [%s]"
+      explored
+      (String.concat "; " (List.map string_of_int schedule))
+  | Out_of_budget { explored } ->
+    Format.fprintf ppf "no violation in %d interleavings (budget reached)"
+      explored

@@ -1,0 +1,143 @@
+open Stm_core
+
+type _ Effect.t += Yield : unit Effect.t
+
+exception Killed_by_scheduler
+
+type outcome = {
+  steps : int;
+  failures : (int * exn) list;
+  killed : int list;
+}
+
+let completed o = o.failures = [] && o.killed = []
+
+type choice = {
+  ready : int list;
+  chosen : int;
+}
+
+type proc_state = {
+  index : int;
+  mutable thunk : (unit -> unit) option;  (* [Some] until first activation *)
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable tls : Obj.t array;
+  mutable finished : bool;
+  mutable failure : exn option;
+}
+
+let handler st =
+  { Effect.Deep.retc = (fun () -> st.finished <- true);
+    exnc =
+      (fun e ->
+        st.finished <- true;
+        st.failure <- Some e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              st.cont <- Some k;
+              st.tls <- Runtime.save_all_tls ())
+        | _ -> None) }
+
+let activate st =
+  Runtime.restore_all_tls st.tls;
+  match (st.cont, st.thunk) with
+  | Some k, _ ->
+    st.cont <- None;
+    Effect.Deep.continue k ()
+  | None, Some thunk ->
+    st.thunk <- None;
+    Effect.Deep.match_with thunk () (handler st)
+  | None, None -> invalid_arg "Sched.activate: process already finished"
+
+let kill st =
+  match st.cont with
+  | None -> ()
+  | Some k -> (
+    st.cont <- None;
+    try Effect.Deep.discontinue k Killed_by_scheduler
+    with _ -> ())
+
+let run ?(max_steps = 100_000) ?pick procs =
+  let pick =
+    match pick with
+    | Some f -> f
+    | None -> fun ~step ~ready -> step mod List.length ready
+  in
+  let states =
+    List.mapi
+      (fun index thunk ->
+        { index; thunk = Some thunk; cont = None;
+          tls = Runtime.save_all_tls (); finished = false; failure = None })
+      procs
+    |> Array.of_list
+  in
+  let current = ref (-1) in
+  let saved_yield = !Runtime.yield_hook in
+  let saved_proc = !Runtime.proc_hook in
+  let saved_simulated = !Runtime.simulated in
+  let outer_tls = Runtime.save_all_tls () in
+  Runtime.simulated := true;
+  Runtime.yield_hook := (fun () -> Effect.perform Yield);
+  (Runtime.proc_hook :=
+     fun () -> if !current >= 0 then !current else saved_proc ());
+  let restore_environment () =
+    Runtime.yield_hook := saved_yield;
+    Runtime.proc_hook := saved_proc;
+    Runtime.simulated := saved_simulated;
+    Runtime.restore_all_tls outer_tls;
+    current := -1
+  in
+  let trace = ref [] in
+  let steps = ref 0 in
+  let killed = ref [] in
+  (try
+     let rec loop () =
+       let ready =
+         Array.to_list states
+         |> List.filter_map (fun st ->
+                if st.finished then None else Some st.index)
+       in
+       if ready <> [] then
+         if !steps >= max_steps then begin
+           List.iter
+             (fun i ->
+               kill states.(i);
+               states.(i).finished <- true;
+               killed := i :: !killed)
+             ready
+         end
+         else begin
+           let chosen = pick ~step:!steps ~ready in
+           let chosen = max 0 (min chosen (List.length ready - 1)) in
+           trace := { ready; chosen } :: !trace;
+           incr steps;
+           let st = states.(List.nth ready chosen) in
+           current := st.index;
+           activate st;
+           current := -1;
+           loop ()
+         end
+     in
+     loop ()
+   with e ->
+     restore_environment ();
+     raise e);
+  restore_environment ();
+  let failures =
+    Array.to_list states
+    |> List.filter_map (fun st ->
+           match st.failure with Some e -> Some (st.index, e) | None -> None)
+  in
+  ( { steps = !steps; failures; killed = List.rev !killed },
+    List.rev !trace )
+
+let run_schedule ?max_steps ~schedule procs =
+  let schedule = Array.of_list schedule in
+  let pick ~step ~ready:_ =
+    if step < Array.length schedule then schedule.(step) else 0
+  in
+  run ?max_steps ~pick procs

@@ -1,0 +1,48 @@
+(** Deterministic cooperative scheduler.
+
+    Runs N logical processes on the current domain, context-switching at
+    every STM scheduling point ({!Stm_core.Runtime.schedule_point}, invoked
+    by all STM implementations before each shared access).  The caller
+    chooses which ready process runs at every step, which makes whole-program
+    interleavings reproducible and enumerable — the paper's 64-hardware-
+    thread concurrency, simulated exactly on one core.
+
+    While a simulation runs, the scheduler owns the runtime hooks
+    ({!Stm_core.Runtime.yield_hook}, [proc_hook]) and swaps each STM's
+    thread-local state when switching processes, so transactions of
+    different logical processes never bleed into each other. *)
+
+type outcome = {
+  steps : int;  (** scheduling points executed *)
+  failures : (int * exn) list;
+      (** processes that ended with an exception (e.g.
+          {!Stm_core.Control.Starvation}), by process index *)
+  killed : int list;
+      (** processes forcibly terminated because [max_steps] was reached *)
+}
+
+val completed : outcome -> bool
+(** No failures and nobody was killed. *)
+
+type choice = {
+  ready : int list;  (** indices of runnable processes, ascending *)
+  chosen : int;      (** index {e into [ready]} that was picked *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?pick:(step:int -> ready:int list -> int) ->
+  (unit -> unit) list ->
+  outcome * choice list
+(** [run procs] executes the processes to completion under the scheduling
+    policy [pick] (default: round-robin), returning the outcome and the full
+    decision trace.  [pick] returns an index into [ready].
+
+    @param max_steps forcibly terminates remaining processes after this many
+    scheduling points (default 100_000), recording them in [killed]. *)
+
+val run_schedule :
+  ?max_steps:int -> schedule:int list -> (unit -> unit) list -> outcome * choice list
+(** Replay a specific schedule: the [n]-th scheduling decision picks
+    [List.nth schedule n] (an index into the ready list, clamped); once the
+    schedule is exhausted, the lowest ready process is chosen. *)

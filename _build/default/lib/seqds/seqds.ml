@@ -1,0 +1,315 @@
+(** Bare sequential counterparts of the e.e.c structures: no transactions,
+    no synchronisation.  They define the "Sequential" series of Figures
+    6–8 and serve as reference models in the property tests.  Safe from a
+    single thread only. *)
+
+module type SET = sig
+  type elt
+  type t
+
+  val create : unit -> t
+  val contains : t -> elt -> bool
+  val add : t -> elt -> bool
+  val remove : t -> elt -> bool
+  val add_all : t -> elt list -> bool
+  val remove_all : t -> elt list -> bool
+  val insert_if_absent : t -> ins:elt -> guard:elt -> bool
+  val size : t -> int
+  val to_list : t -> elt list
+
+  val unsafe_preload : t -> elt list -> unit
+  (** Linear-time bulk load (deduplicated); setup only. *)
+end
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  val hash : t -> int
+end
+
+(** Shared derived operations. *)
+module Derive (P : sig
+  type elt
+  type t
+
+  val contains : t -> elt -> bool
+  val add : t -> elt -> bool
+  val remove : t -> elt -> bool
+end) =
+struct
+  let add_all t l = List.fold_left (fun c x -> P.add t x || c) false l
+  let remove_all t l = List.fold_left (fun c x -> P.remove t x || c) false l
+
+  let insert_if_absent t ~ins ~guard =
+    if P.contains t guard then false else P.add t ins
+end
+
+(** Sorted singly-linked list. *)
+module Linked_list (K : ORDERED) : SET with type elt = K.t = struct
+  type elt = K.t
+
+  type node =
+    | Nil
+    | Node of { key : K.t; mutable next : node }
+
+  type t = { mutable head : node }
+
+  let create () = { head = Nil }
+
+  let contains t k =
+    let rec go = function
+      | Nil -> false
+      | Node { key; next } ->
+        let c = K.compare k key in
+        if c = 0 then true else if c < 0 then false else go next
+    in
+    go t.head
+
+  let add t k =
+    let rec go set_prev cur =
+      match cur with
+      | Nil ->
+        set_prev (Node { key = k; next = Nil });
+        true
+      | Node ({ key; next } as n) ->
+        let c = K.compare k key in
+        if c = 0 then false
+        else if c < 0 then begin
+          set_prev (Node { key = k; next = cur });
+          true
+        end
+        else go (fun v -> n.next <- v) next
+    in
+    go (fun v -> t.head <- v) t.head
+
+  let remove t k =
+    let rec go set_prev cur =
+      match cur with
+      | Nil -> false
+      | Node ({ key; next } as n) ->
+        let c = K.compare k key in
+        if c = 0 then begin
+          set_prev next;
+          true
+        end
+        else if c < 0 then false
+        else go (fun v -> n.next <- v) next
+    in
+    go (fun v -> t.head <- v) t.head
+
+  let fold t ~init ~f =
+    let rec go acc = function Nil -> acc | Node { key; next } -> go (f acc key) next in
+    go init t.head
+
+  let size t = fold t ~init:0 ~f:(fun n _ -> n + 1)
+  let to_list t = List.rev (fold t ~init:[] ~f:(fun l k -> k :: l))
+
+  let unsafe_preload t keys =
+    let keys = List.sort_uniq K.compare keys in
+    t.head <-
+      List.fold_right (fun k acc -> Node { key = k; next = acc }) keys Nil
+
+  module D = Derive (struct
+    type nonrec elt = elt
+    type nonrec t = t
+
+    let contains = contains
+    let add = add
+    let remove = remove
+  end)
+
+  let add_all = D.add_all
+  let remove_all = D.remove_all
+  let insert_if_absent = D.insert_if_absent
+end
+
+(** Deterministic skip list (tower heights from the key hash, like the
+    transactional version). *)
+module Skip_list (K : ORDERED) : SET with type elt = K.t = struct
+  type elt = K.t
+
+  let max_level = 16
+
+  type node =
+    | Nil
+    | Node of { key : K.t; next : node array }
+
+  type t = { head : node array }
+
+  let create () = { head = Array.make max_level Nil }
+
+  let level_of key =
+    let h = K.hash key in
+    let rec count l h =
+      if l >= max_level then max_level
+      else if h land 1 = 1 then count (l + 1) (h lsr 1)
+      else l + 1
+    in
+    count 0 h
+
+  (* Returns (cells, found): cells.(l) is a setter/getter pair for the link
+     an update at level l must rewrite. *)
+  let search t k =
+    let set_cell = Array.make max_level (fun (_ : node) -> ()) in
+    let succ = Array.make max_level Nil in
+    let pred = ref Nil in
+    for level = max_level - 1 downto 0 do
+      let get, set =
+        match !pred with
+        | Nil -> ((fun () -> t.head.(level)), fun v -> t.head.(level) <- v)
+        | Node { next; _ } -> ((fun () -> next.(level)), fun v -> next.(level) <- v)
+      in
+      let rec forward get set =
+        match get () with
+        | Nil -> (get, set)
+        | Node { key; next } as cur ->
+          if K.compare key k < 0 then begin
+            pred := cur;
+            forward (fun () -> next.(level)) (fun v -> next.(level) <- v)
+          end
+          else (get, set)
+      in
+      let get, set = forward get set in
+      set_cell.(level) <- set;
+      succ.(level) <- get ()
+    done;
+    let found =
+      match succ.(0) with Nil -> false | Node { key; _ } -> K.compare key k = 0
+    in
+    (set_cell, succ, found)
+
+  let contains t k =
+    let _, _, found = search t k in
+    found
+
+  let add t k =
+    let set_cell, succ, found = search t k in
+    if found then false
+    else begin
+      let lvl = level_of k in
+      let next = Array.init lvl (fun i -> succ.(i)) in
+      let node = Node { key = k; next } in
+      for i = 0 to lvl - 1 do
+        set_cell.(i) node
+      done;
+      true
+    end
+
+  let remove t k =
+    let set_cell, succ, found = search t k in
+    if not found then false
+    else begin
+      match succ.(0) with
+      | Nil -> assert false
+      | Node { next; _ } ->
+        for i = 0 to Array.length next - 1 do
+          set_cell.(i) next.(i)
+        done;
+        true
+    end
+
+  let fold t ~init ~f =
+    let rec go acc = function
+      | Nil -> acc
+      | Node { key; next } -> go (f acc key) next.(0)
+    in
+    go init t.head.(0)
+
+  let size t = fold t ~init:0 ~f:(fun n _ -> n + 1)
+  let to_list t = List.rev (fold t ~init:[] ~f:(fun l k -> k :: l))
+
+  let unsafe_preload t keys =
+    let keys = List.sort_uniq K.compare keys in
+    (* links.(l) is a setter for the cell that should receive the next
+       node of level l. *)
+    let links =
+      Array.init max_level (fun l -> fun v -> t.head.(l) <- v)
+    in
+    List.iter
+      (fun k ->
+        let lvl = level_of k in
+        let next = Array.make lvl Nil in
+        let node = Node { key = k; next } in
+        for l = 0 to lvl - 1 do
+          links.(l) node;
+          links.(l) <- (fun v -> next.(l) <- v)
+        done)
+      keys
+
+  module D = Derive (struct
+    type nonrec elt = elt
+    type nonrec t = t
+
+    let contains = contains
+    let add = add
+    let remove = remove
+  end)
+
+  let add_all = D.add_all
+  let remove_all = D.remove_all
+  let insert_if_absent = D.insert_if_absent
+end
+
+(** Fixed-bucket hash set over sorted chains. *)
+module Hash (K : ORDERED) : sig
+  include SET with type elt = K.t
+
+  val create_with_buckets : int -> t
+end = struct
+  module L = Linked_list (K)
+
+  type elt = K.t
+  type t = { buckets : L.t array }
+
+  let create_with_buckets n =
+    if n <= 0 then invalid_arg "Seqds.Hash.create_with_buckets";
+    { buckets = Array.init n (fun _ -> L.create ()) }
+
+  let create () = create_with_buckets 64
+  let bucket t k = t.buckets.(K.hash k mod Array.length t.buckets)
+  let contains t k = L.contains (bucket t k) k
+  let add t k = L.add (bucket t k) k
+  let remove t k = L.remove (bucket t k) k
+
+  let size t = Array.fold_left (fun acc b -> acc + L.size b) 0 t.buckets
+
+  let to_list t =
+    Array.fold_left (fun acc b -> L.to_list b @ acc) [] t.buckets
+    |> List.sort K.compare
+
+  let unsafe_preload t keys =
+    let n = Array.length t.buckets in
+    let per_bucket = Array.make n [] in
+    List.iter
+      (fun k ->
+        let b = K.hash k mod n in
+        per_bucket.(b) <- k :: per_bucket.(b))
+      keys;
+    Array.iteri (fun i ks -> L.unsafe_preload t.buckets.(i) ks) per_bucket
+
+  module D = Derive (struct
+    type nonrec elt = elt
+    type nonrec t = t
+
+    let contains = contains
+    let add = add
+    let remove = remove
+  end)
+
+  let add_all = D.add_all
+  let remove_all = D.remove_all
+  let insert_if_absent = D.insert_if_absent
+end
+
+module Int_key = struct
+  type t = int
+
+  let compare = Int.compare
+
+  let hash x =
+    let x = x * 0x9E3779B97F4A7C1 in
+    let x = (x lxor (x lsr 30)) * 0xBF58476D1CE4E5B lor 1 in
+    let x = (x lxor (x lsr 27)) * 0x94D049BB133111E lor 1 in
+    (x lxor (x lsr 31)) land max_int
+end

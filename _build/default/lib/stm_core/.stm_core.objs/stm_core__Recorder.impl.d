@@ -1,0 +1,1 @@
+lib/stm_core/recorder.ml: Hashtbl List Option

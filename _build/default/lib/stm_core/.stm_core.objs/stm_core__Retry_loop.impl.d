@@ -1,0 +1,1 @@
+lib/stm_core/retry_loop.ml: Backoff Control Runtime Stats

@@ -1,0 +1,1 @@
+lib/stm_core/runtime.ml: Array Atomic Domain List Obj

@@ -1,0 +1,1 @@
+lib/stm_core/rwsets.ml: Obj Option Runtime Tvar Vec Vlock

@@ -1,0 +1,1 @@
+lib/stm_core/rwsets.mli: Tvar Vec Vlock

@@ -1,0 +1,1 @@
+lib/stm_core/stats.ml: Array Atomic Control Format List

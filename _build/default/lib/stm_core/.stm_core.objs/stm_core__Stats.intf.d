@@ -1,0 +1,1 @@
+lib/stm_core/stats.mli: Control Format

@@ -1,0 +1,1 @@
+lib/stm_core/stm_intf.ml: Stats

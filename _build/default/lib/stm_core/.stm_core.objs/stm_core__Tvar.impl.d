@@ -1,0 +1,1 @@
+lib/stm_core/tvar.ml: Atomic Control Vlock

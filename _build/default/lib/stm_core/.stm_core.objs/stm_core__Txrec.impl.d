@@ -1,0 +1,1 @@
+lib/stm_core/txrec.ml: Hashtbl List Option Recorder Runtime

@@ -1,0 +1,15 @@
+(** Randomised exponential backoff used by the contention manager.
+
+    Each transaction attempt carries a backoff state; after an abort the
+    transaction waits for a random number of relaxation steps drawn from an
+    exponentially growing window before retrying.  Under the deterministic
+    scheduler the wait degenerates to scheduling points so that cooperative
+    processes cannot spin forever. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+val reset : t -> unit
+
+val once : t -> unit
+(** Wait once and widen the window. *)

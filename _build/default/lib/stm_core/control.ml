@@ -1,0 +1,40 @@
+type reason =
+  | Read_locked
+  | Read_inconsistent
+  | Read_too_new
+  | Window_invalid
+  | Validation_failed
+  | Lock_contention
+  | Killed
+  | Explicit
+
+exception Abort_tx of reason
+exception Starvation of string
+
+let abort_tx r = raise (Abort_tx r)
+
+let reason_to_string = function
+  | Read_locked -> "read-locked"
+  | Read_inconsistent -> "read-inconsistent"
+  | Read_too_new -> "read-too-new"
+  | Window_invalid -> "window-invalid"
+  | Validation_failed -> "validation-failed"
+  | Lock_contention -> "lock-contention"
+  | Killed -> "killed"
+  | Explicit -> "explicit"
+
+let reason_index = function
+  | Read_locked -> 0
+  | Read_inconsistent -> 1
+  | Read_too_new -> 2
+  | Window_invalid -> 3
+  | Validation_failed -> 4
+  | Lock_contention -> 5
+  | Killed -> 6
+  | Explicit -> 7
+
+let reason_count = 8
+
+let all_reasons =
+  [ Read_locked; Read_inconsistent; Read_too_new; Window_invalid;
+    Validation_failed; Lock_contention; Killed; Explicit ]

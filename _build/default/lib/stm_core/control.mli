@@ -1,0 +1,33 @@
+(** Transaction control flow.
+
+    Aborts are implemented with an exception that unwinds to the outermost
+    [atomic] retry loop; user code must not intercept it (catch-all handlers
+    inside transactions must re-raise {!Abort_tx}). *)
+
+(** Why a transaction aborted; recorded in statistics. *)
+type reason =
+  | Read_locked          (** a read found the location's lock held *)
+  | Read_inconsistent    (** double-stamp read saw the stamp change *)
+  | Read_too_new         (** version newer than the validity interval, extension failed *)
+  | Window_invalid       (** elastic window validation failed (cut impossible) *)
+  | Validation_failed    (** commit-time read-set validation failed *)
+  | Lock_contention      (** could not acquire a write lock *)
+  | Killed               (** aborted by the contention manager *)
+  | Explicit             (** user requested the abort *)
+
+exception Abort_tx of reason
+(** Raised to abort the current transaction attempt.  Caught only by the
+    outermost retry loop. *)
+
+exception Starvation of string
+(** Raised when a transaction exceeds the configured retry cap
+    ({!Runtime.retry_cap}); used by the deterministic scheduler to prune
+    livelocking interleavings. *)
+
+val abort_tx : reason -> 'a
+(** Raise {!Abort_tx}. *)
+
+val reason_to_string : reason -> string
+val reason_index : reason -> int
+val reason_count : int
+val all_reasons : reason list

@@ -1,0 +1,5 @@
+let clock = Atomic.make 0
+
+let now () = Atomic.get clock
+let tick () = Atomic.fetch_and_add clock 1 + 1
+let reset_for_testing () = Atomic.set clock 0

@@ -1,0 +1,31 @@
+type event =
+  | Begin of { tx : int; proc : int }
+  | Commit of { tx : int; proc : int }
+  | Abort of { tx : int; proc : int }
+  | Read of { pe : int; tx : int; value_repr : int }
+  | Write of { pe : int; tx : int; value_repr : int }
+  | Acquire of { pe : int; proc : int }
+  | Release of { pe : int; proc : int }
+
+let sink : (event -> unit) option ref = ref None
+
+let install f = sink := Some f
+let remove () = sink := None
+let enabled () = Option.is_some !sink
+
+let emit e = match !sink with None -> () | Some f -> f e
+
+let record f =
+  let saved = !sink in
+  let events = ref [] in
+  sink := Some (fun e -> events := e :: !events);
+  let finish () = sink := saved in
+  match f () with
+  | result ->
+    finish ();
+    (List.rev !events, result)
+  | exception exn ->
+    finish ();
+    raise exn
+
+let repr_of_value v = Hashtbl.hash v

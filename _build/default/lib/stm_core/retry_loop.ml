@@ -1,0 +1,15 @@
+let run ~stats f =
+  let backoff = Backoff.create ~seed:(Runtime.fresh_tx_id ()) () in
+  let rec attempt n =
+    if n > !Runtime.retry_cap then
+      raise (Control.Starvation "transaction exceeded retry cap");
+    match f ~attempt:n with
+    | result ->
+      Stats.record_commit stats;
+      result
+    | exception Control.Abort_tx reason ->
+      Stats.record_abort stats reason;
+      Backoff.once backoff;
+      attempt (n + 1)
+  in
+  attempt 0

@@ -1,0 +1,10 @@
+(** The outermost retry loop shared by all STM implementations. *)
+
+val run : stats:Stats.t -> (attempt:int -> 'a) -> 'a
+(** [run ~stats f] calls [f] (one full transaction attempt: begin, body,
+    commit) until it returns instead of raising {!Control.Abort_tx}.  Aborts
+    are counted in [stats] and followed by randomised backoff.  [f] receives
+    the attempt number (0 on the first try).
+
+    @raise Control.Starvation when {!Runtime.retry_cap} attempts all
+    aborted. *)

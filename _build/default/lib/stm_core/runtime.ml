@@ -1,0 +1,25 @@
+let proc_hook = ref (fun () -> (Domain.self () :> int))
+let current_proc () = !proc_hook ()
+
+let yield_hook = ref (fun () -> ())
+let schedule_point () = !yield_hook ()
+
+let simulated = ref false
+
+let retry_cap = ref max_int
+
+let tx_counter = Atomic.make 0
+let fresh_tx_id () = Atomic.fetch_and_add tx_counter 1
+
+(* TLS registry.  Registration happens at module initialisation time (each
+   STM registers once); save/restore run only under the single-domain
+   deterministic scheduler, so a plain list is safe. *)
+let tls_entries : ((unit -> Obj.t) * (Obj.t -> unit)) list ref = ref []
+
+let register_tls ~save ~restore = tls_entries := (save, restore) :: !tls_entries
+
+let save_all_tls () =
+  Array.of_list (List.map (fun (save, _) -> save ()) !tls_entries)
+
+let restore_all_tls a =
+  List.iteri (fun i (_, restore) -> restore a.(i)) !tls_entries

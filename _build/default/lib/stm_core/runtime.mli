@@ -1,0 +1,42 @@
+(** Hooks connecting the STM runtime to its execution environment.
+
+    By default transactions run on OCaml domains: the current process id is
+    the domain id and scheduling points are no-ops.  The deterministic
+    scheduler ({!Schedsim}) overrides these hooks to multiplex many logical
+    processes on one domain and to context-switch at every shared-memory
+    access, which is what makes exhaustive interleaving exploration
+    possible. *)
+
+val proc_hook : (unit -> int) ref
+(** Returns the id of the current logical process.  Default: domain id. *)
+
+val current_proc : unit -> int
+
+val yield_hook : (unit -> unit) ref
+(** Called by STM implementations immediately before every shared access
+    (transactional read, write, lock acquisition, commit).  Default: no-op.
+    The deterministic scheduler installs its context switch here. *)
+
+val schedule_point : unit -> unit
+(** Invoke the yield hook. *)
+
+val simulated : bool ref
+(** Set by the deterministic scheduler while a simulation runs.  Spin-wait
+    style delays (contention backoff) degenerate to scheduling points so
+    that simulated runs never burn cycles in [cpu_relax] loops. *)
+
+val retry_cap : int ref
+(** Maximum number of times one [atomic] call may retry before raising
+    {!Control.Starvation}.  Default [max_int] (retry forever).  The
+    deterministic scheduler lowers this to prune livelocking schedules. *)
+
+val fresh_tx_id : unit -> int
+(** Globally unique transaction identifiers. *)
+
+(** Thread-local-state registry.  Every STM registers the save/restore pair
+    for its "current transaction" slot; the deterministic scheduler snapshots
+    all slots when context-switching between logical processes. *)
+
+val register_tls : save:(unit -> Obj.t) -> restore:(Obj.t -> unit) -> unit
+val save_all_tls : unit -> Obj.t array
+val restore_all_tls : Obj.t array -> unit

@@ -1,0 +1,142 @@
+type rentry = {
+  r_lock : Vlock.t;
+  r_seen : int;
+  r_pe : int;
+}
+
+let dummy_rentry = { r_lock = Vlock.create (); r_seen = 0; r_pe = -1 }
+
+let rentry_valid ~owner (e : rentry) =
+  let s = Vlock.stamp e.r_lock in
+  if s = e.r_seen then true
+  else
+    (* The stamp changed; still fine if it is our own write lock over the
+       version we observed (stamp = seen lor 1 set by our try_lock). *)
+    Vlock.locked s
+    && Vlock.owner e.r_lock = owner
+    && Vlock.version_of s = Vlock.version_of e.r_seen
+
+module Rset = struct
+  type t = rentry Vec.t
+
+  let create () = Vec.create ~dummy:dummy_rentry ()
+
+  let validate t ~owner = Vec.for_all (rentry_valid ~owner) t
+
+  let validate_upto t ~owner ~limit =
+    Vec.for_all
+      (fun e -> Vlock.version_of e.r_seen <= limit && rentry_valid ~owner e)
+      t
+
+  let mem_pe t pe = Vec.exists (fun e -> e.r_pe = pe) t
+end
+
+(* A write entry erases the element type of its tvar.  [find] recovers the
+   pending value with a cast that is safe because tvar ids are unique: equal
+   ids imply the same tvar, hence the same type parameter.  This is the
+   standard heterogeneous-write-set technique (cf. kcas); the cast is
+   confined to this module. *)
+type wentry =
+  | W : { tv : 'a Tvar.t; mutable pending : 'a; mutable locked : bool } -> wentry
+
+let wentry_pe (W e) = e.tv.Tvar.id
+let wentry_lock (W e) = e.tv.Tvar.lock
+
+let dummy_wentry = W { tv = Tvar.make 0; pending = 0; locked = false }
+
+module Wset = struct
+  type t = { entries : wentry Vec.t; mutable sorted : bool }
+
+  let create () = { entries = Vec.create ~dummy:dummy_wentry (); sorted = true }
+
+  let clear t =
+    Vec.clear t.entries;
+    t.sorted <- true
+
+  let is_empty t = Vec.is_empty t.entries
+  let size t = Vec.length t.entries
+
+  let find_entry t pe = Vec.find_opt (fun e -> wentry_pe e = pe) t.entries
+
+  let find (type a) t (tv : a Tvar.t) : a option =
+    match find_entry t tv.Tvar.id with
+    | None -> None
+    | Some (W e) -> Some (Obj.magic e.pending : a)
+
+  let mem_pe t pe = Option.is_some (find_entry t pe)
+
+  let add (type a) t (tv : a Tvar.t) (v : a) =
+    match find_entry t tv.Tvar.id with
+    | Some (W e) ->
+      e.pending <- Obj.magic (v : a);
+      false
+    | None ->
+      Vec.push t.entries (W { tv; pending = v; locked = false });
+      t.sorted <- false;
+      true
+
+  let iter_pes t f = Vec.iter (fun e -> f (wentry_pe e)) t.entries
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      Vec.sort (fun a b -> compare (wentry_pe a) (wentry_pe b)) t.entries;
+      t.sorted <- true
+    end
+
+  let unlock_all_restore t =
+    Vec.iter
+      (fun (W e) ->
+        if e.locked then begin
+          Vlock.unlock_restore e.tv.Tvar.lock;
+          e.locked <- false
+        end)
+      t.entries
+
+  let lock_all t ~owner =
+    ensure_sorted t;
+    let ok = ref true in
+    let n = Vec.length t.entries in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let (W e) = Vec.get t.entries !i in
+      if not e.locked then begin
+        Runtime.schedule_point ();
+        if Vlock.try_lock e.tv.Tvar.lock ~owner then e.locked <- true
+        else ok := false
+      end;
+      incr i
+    done;
+    if not !ok then unlock_all_restore t;
+    !ok
+
+  let lock_one t tv ~owner =
+    match find_entry t (Tvar.id tv) with
+    | None -> invalid_arg "Wset.lock_one: no entry for tvar"
+    | Some (W e) ->
+      if e.locked then true
+      else begin
+        Runtime.schedule_point ();
+        if Vlock.try_lock e.tv.Tvar.lock ~owner then begin
+          e.locked <- true;
+          true
+        end
+        else false
+      end
+
+  let install_and_unlock t ~wv =
+    Vec.iter
+      (fun (W e) ->
+        assert e.locked;
+        Tvar.unsafe_write e.tv e.pending;
+        Vlock.unlock_to e.tv.Tvar.lock ~version:wv;
+        e.locked <- false)
+      t.entries
+
+  let validate_no_foreign_lock t ~owner =
+    Vec.for_all
+      (fun (W e) ->
+        let lock = e.tv.Tvar.lock in
+        let s = Vlock.stamp lock in
+        (not (Vlock.locked s)) || Vlock.owner lock = owner)
+      t.entries
+end

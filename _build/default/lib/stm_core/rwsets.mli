@@ -1,0 +1,80 @@
+(** Read sets and write sets shared by all STM implementations. *)
+
+(** {1 Read entries} *)
+
+type rentry = {
+  r_lock : Vlock.t;
+  r_seen : int;   (** full stamp observed when the location was read *)
+  r_pe : int;     (** protection-element (tvar) id *)
+}
+
+val dummy_rentry : rentry
+
+val rentry_valid : owner:int -> rentry -> bool
+(** The entry's stamp is unchanged, or the location is currently
+    write-locked by [owner] itself over the observed version. *)
+
+(** A read set is a vector of read entries.  One location may appear several
+    times; validation simply checks every recorded observation. *)
+module Rset : sig
+  type t = rentry Vec.t
+
+  val create : unit -> t
+
+  val validate : t -> owner:int -> bool
+  (** Every entry's stamp is unchanged, or the location is write-locked by
+      [owner] itself at the version that was observed. *)
+
+  val validate_upto : t -> owner:int -> limit:int -> bool
+  (** Like {!validate} but additionally requires every observed version to
+      be at most [limit] (snapshot-extension validation). *)
+
+  val mem_pe : t -> int -> bool
+end
+
+(** {1 Write entries} *)
+
+type wentry
+
+val wentry_pe : wentry -> int
+val wentry_lock : wentry -> Vlock.t
+
+module Wset : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val is_empty : t -> bool
+  val size : t -> int
+
+  val find : t -> 'a Tvar.t -> 'a option
+  (** Pending value for [tv], if this write set wrote it. *)
+
+  val mem_pe : t -> int -> bool
+
+  val add : t -> 'a Tvar.t -> 'a -> bool
+  (** Record (or overwrite) the pending value for [tv].  Returns [true] when
+      this is the first write to [tv] in this set. *)
+
+  val iter_pes : t -> (int -> unit) -> unit
+
+  val lock_all : t -> owner:int -> bool
+  (** Acquire every entry's lock in ascending id order.  On failure releases
+      the locks taken so far (restoring their stamps) and returns [false].
+      Entries already locked by [owner] (eager STMs) are skipped. *)
+
+  val lock_one : t -> 'a Tvar.t -> owner:int -> bool
+  (** Eagerly lock just [tv]'s entry (which must exist); returns false if the
+      lock is held by another transaction.  Idempotent for [owner]. *)
+
+  val install_and_unlock : t -> wv:int -> unit
+  (** Write every pending value into its tvar and release the lock,
+      publishing version [wv].  All entries must be locked by the caller. *)
+
+  val unlock_all_restore : t -> unit
+  (** Release every lock this set acquired, restoring pre-lock stamps (abort
+      path). *)
+
+  val validate_no_foreign_lock : t -> owner:int -> bool
+  (** No entry is locked by a transaction other than [owner]. *)
+end

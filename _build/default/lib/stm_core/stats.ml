@@ -1,0 +1,53 @@
+(* Plain atomic counters: domain ids are not bounded across a program run
+   (every spawn gets a fresh id), so per-domain sharding would leak; and the
+   counters are only touched once per transaction attempt, far from the
+   read/write hot path. *)
+
+type t = {
+  commits : int Atomic.t;
+  aborts : int Atomic.t;
+  by_reason : int Atomic.t array;
+}
+
+type snapshot = {
+  commits : int;
+  aborts : int;
+  by_reason : (Control.reason * int) list;
+}
+
+let create () : t =
+  { commits = Atomic.make 0;
+    aborts = Atomic.make 0;
+    by_reason = Array.init Control.reason_count (fun _ -> Atomic.make 0) }
+
+let record_commit (t : t) = ignore (Atomic.fetch_and_add t.commits 1)
+
+let record_abort (t : t) reason =
+  ignore (Atomic.fetch_and_add t.aborts 1);
+  ignore (Atomic.fetch_and_add t.by_reason.(Control.reason_index reason) 1)
+
+let snapshot (t : t) =
+  let by_reason =
+    List.filter_map
+      (fun r ->
+        let n = Atomic.get t.by_reason.(Control.reason_index r) in
+        if n = 0 then None else Some (r, n))
+      Control.all_reasons
+  in
+  { commits = Atomic.get t.commits; aborts = Atomic.get t.aborts; by_reason }
+
+let reset (t : t) =
+  Atomic.set t.commits 0;
+  Atomic.set t.aborts 0;
+  Array.iter (fun c -> Atomic.set c 0) t.by_reason
+
+let abort_rate (s : snapshot) =
+  let total = s.commits + s.aborts in
+  if total = 0 then 0.0 else float_of_int s.aborts /. float_of_int total
+
+let pp_snapshot ppf (s : snapshot) =
+  Format.fprintf ppf "commits=%d aborts=%d (%.1f%%)" s.commits s.aborts
+    (100.0 *. abort_rate s);
+  List.iter
+    (fun (r, n) -> Format.fprintf ppf " %s=%d" (Control.reason_to_string r) n)
+    s.by_reason

@@ -1,0 +1,25 @@
+(** Per-STM commit/abort statistics.
+
+    Each STM implementation owns one [t].  Counters are sharded per domain to
+    avoid contention on the hot path and summed on demand. *)
+
+type t
+
+type snapshot = {
+  commits : int;
+  aborts : int;
+  by_reason : (Control.reason * int) list;  (** aborts broken down by reason *)
+}
+
+val create : unit -> t
+
+val record_commit : t -> unit
+val record_abort : t -> Control.reason -> unit
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val abort_rate : snapshot -> float
+(** aborts / (aborts + commits), or 0 when no transaction ran. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,27 @@
+type 'a t = {
+  id : int;
+  lock : Vlock.t;
+  mutable content : 'a;
+}
+
+let next_id = Atomic.make 0
+
+let make v = { id = Atomic.fetch_and_add next_id 1; lock = Vlock.create (); content = v }
+
+let id tv = tv.id
+
+(* Double-stamp read: the two SC atomic loads around the plain load of
+   [content] ensure that if the stamp is identical and unlocked on both sides
+   then the plain load observed the value published by the commit that wrote
+   that stamp (commit stores content before the atomic unlock). *)
+let read_consistent tv =
+  let s1 = Vlock.stamp tv.lock in
+  if Vlock.locked s1 then Control.abort_tx Control.Read_locked;
+  let v = tv.content in
+  let s2 = Vlock.stamp tv.lock in
+  if s1 <> s2 then Control.abort_tx Control.Read_inconsistent;
+  (s1, v)
+
+let peek tv = tv.content
+
+let unsafe_write tv v = tv.content <- v

@@ -1,0 +1,84 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 16) ~dummy () =
+  { data = Array.make (max capacity 1) dummy; len = 0; dummy }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  t.data.(i) <- v
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) t.dummy in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t v =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let for_all p t = not (exists (fun x -> not (p x)) t)
+
+let find_opt p t =
+  let rec loop i =
+    if i >= t.len then None
+    else if p t.data.(i) then Some t.data.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let sort cmp t =
+  let live = Array.sub t.data 0 t.len in
+  Array.sort cmp live;
+  Array.blit live 0 t.data 0 t.len
+
+let append_into ~src ~dst = iter (push dst) src
+
+let filter_in_place p t =
+  let kept = ref 0 in
+  for i = 0 to t.len - 1 do
+    let x = t.data.(i) in
+    if p x then begin
+      t.data.(!kept) <- x;
+      incr kept
+    end
+  done;
+  let dropped = t.len - !kept in
+  t.len <- !kept;
+  dropped

@@ -1,0 +1,39 @@
+(* Stamp layout: [version lsl 1] lor [locked bit].  A locked stamp keeps the
+   version that was current when the lock was taken, so readers that observe
+   a locked stamp still learn the last committed version. *)
+
+type t = {
+  stamp_cell : int Atomic.t;
+  mutable owner_id : int;   (* written only by the lock holder *)
+  mutable saved : int;      (* stamp to restore on abort, ditto *)
+}
+
+let create () = { stamp_cell = Atomic.make 0; owner_id = -1; saved = 0 }
+
+let stamp t = Atomic.get t.stamp_cell
+let locked s = s land 1 = 1
+let version_of s = s lsr 1
+
+let try_lock t ~owner =
+  let s = Atomic.get t.stamp_cell in
+  if locked s then false
+  else if Atomic.compare_and_set t.stamp_cell s (s lor 1) then begin
+    t.owner_id <- owner;
+    t.saved <- s;
+    true
+  end
+  else false
+
+let owner t = t.owner_id
+
+let locked_by t ~owner =
+  let s = Atomic.get t.stamp_cell in
+  locked s && t.owner_id = owner
+
+let unlock_restore t = Atomic.set t.stamp_cell t.saved
+
+let unlock_to t ~version = Atomic.set t.stamp_cell (version lsl 1)
+
+let pp ppf t =
+  let s = stamp t in
+  Format.fprintf ppf "v%d%s" (version_of s) (if locked s then "/locked" else "")

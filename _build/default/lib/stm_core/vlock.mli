@@ -1,0 +1,48 @@
+(** Versioned write-locks.
+
+    Every transactional variable carries one versioned lock.  The lock packs
+    a version number and a locked bit into a single [int Atomic.t] so that a
+    reader can obtain both with one atomic load.  The identity of the owner
+    and the pre-lock stamp are kept in plain fields that are only written
+    between a successful [try_lock] and the matching unlock; the CAS on the
+    stamp provides the happens-before edge that makes those plain accesses
+    safe. *)
+
+type t
+
+val create : unit -> t
+(** A fresh unlocked lock at version 0. *)
+
+val stamp : t -> int
+(** Atomic load of the current stamp (version and locked bit together). *)
+
+val locked : int -> bool
+(** Whether a stamp obtained from {!stamp} has the locked bit set. *)
+
+val version_of : int -> int
+(** Version number carried by a stamp (valid for locked stamps too: a locked
+    stamp still exposes the version that was current when the lock was
+    taken). *)
+
+val try_lock : t -> owner:int -> bool
+(** Attempt to acquire the lock for transaction [owner].  Returns [false]
+    without blocking if the lock is already held. *)
+
+val owner : t -> int
+(** Owner recorded by the last successful [try_lock].  Only meaningful while
+    the caller has observed a locked stamp and knows the lock cannot have
+    been recycled, i.e. when checking for self-ownership. *)
+
+val locked_by : t -> owner:int -> bool
+(** [locked_by l ~owner] is true iff [l] is currently locked and the recorded
+    owner is [owner].  Used for read-own-lock checks. *)
+
+val unlock_restore : t -> unit
+(** Release the lock, restoring the stamp saved by [try_lock] (used when a
+    transaction aborts after eagerly locking). *)
+
+val unlock_to : t -> version:int -> unit
+(** Release the lock, publishing [version] as the new version (used at
+    commit after installing a new value). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Classic_stm Eec Explore List Oestm Schedsim Stm_core Stm_intf String

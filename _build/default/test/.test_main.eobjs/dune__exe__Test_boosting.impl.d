@@ -1,0 +1,1 @@
+test/test_boosting.ml: Alcotest Atomic Boosting Domain Fun Histories List Printf Recorder Result Schedsim Seqds Stm_core

@@ -1,0 +1,1 @@
+test/test_collections.ml: Alcotest Array Atomic Classic_stm Domain Eec Fun Int List Map Oestm Option QCheck QCheck_alcotest Queue Result Stm_core Stm_intf String

@@ -1,0 +1,1 @@
+test/test_composition.ml: Alcotest Classic_stm Explore Histories List Oestm Recorder Result Sched Schedsim Stm_core Stm_intf String

@@ -1,0 +1,1 @@
+test/test_convert.ml: Alcotest Histories Recorder Result Stm_core

@@ -1,0 +1,1 @@
+test/test_eec.ml: Alcotest Atomic Classic_stm Domain Eec Int List Oestm Printf QCheck QCheck_alcotest Result Seqds Set Stm_core Stm_intf String

@@ -1,0 +1,1 @@
+test/test_elastic.ml: Alcotest Classic_stm Domain Histories List Oestm Recorder Schedsim Stats Stm_core Stm_intf

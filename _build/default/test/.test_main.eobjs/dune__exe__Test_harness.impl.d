@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Fun Harness List Printf QCheck QCheck_alcotest

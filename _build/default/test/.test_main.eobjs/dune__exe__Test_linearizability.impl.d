@@ -1,0 +1,1 @@
+test/test_linearizability.ml: Bool Classic_stm Eec Explore Gen Hashtbl List Oestm Printf QCheck QCheck_alcotest Sched Schedsim Seqds Stm_core Stm_intf String

@@ -1,0 +1,1 @@
+test/test_rwsets.ml: Alcotest Array Control Fun List QCheck QCheck_alcotest Rwsets Stm_core Tvar Vec Vlock

@@ -1,0 +1,1 @@
+test/test_schedsim.ml: Alcotest Classic_stm Explore Hashtbl List Oestm Runtime Sched Schedsim Stm_core Stm_intf String

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Control Domain Fun List Stats Stm_core

@@ -1,0 +1,1 @@
+test/test_stm_semantics.ml: Alcotest Array Atomic Classic_stm Domain List Oestm Stats Stm_core Stm_intf

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Bool Composition Event Hashtbl Histories History List Option Outheritance Printf QCheck QCheck_alcotest Random Search Serializability Spec

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Composition Event Histories History List Outheritance Result Search Serializability Spec

@@ -1,0 +1,1 @@
+test/test_viewstm.ml: Alcotest Domain Explore Histories List Recorder Sched Schedsim Stats Stm_core String Test_stm_semantics Viewstm

@@ -1,0 +1,1 @@
+test/test_vlock.ml: Alcotest Domain List QCheck QCheck_alcotest Stm_core Vlock

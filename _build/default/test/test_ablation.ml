@@ -1,0 +1,122 @@
+(* Ablation regression: why the elastic window must span two reads.
+
+   A chain unlink reads the predecessor cell, then the successor cell,
+   then writes the predecessor.  With a one-read window, the predecessor
+   read slides out of the validated set: a concurrent insertion right
+   behind it is silently overwritten (lost update).  The explorer finds
+   that interleaving for the window-1 instance and — within the same
+   budget — none for the production window-2 instance.  This is the bug
+   the move/rebalance example caught live, pinned down as a test. *)
+
+open Stm_core
+open Schedsim
+
+(* A 3-cell chain 1 -> 5 -> 9.  Process 0 removes 5: it reads the head,
+   then the cell of 1 (finding 5), then 5's cell, and rewrites 1's cell —
+   whose read has left a one-read window by then.  Process 1 inserts 3,
+   which also rewrites 1's cell.  If the remover misses the insertion, the
+   committed 3 vanishes. *)
+let scenario (module S : Stm_intf.S) () =
+  let module Set = Eec.Linked_list_set.Make (S) (Eec.Set_intf.Int_key) in
+  let s = Set.create () in
+  Set.unsafe_preload s [ 1; 5; 9 ];
+  let insert_done = ref false in
+  let procs =
+    [ (fun () -> ignore (Set.remove s 5));
+      (fun () ->
+        ignore (Set.add s 3);
+        insert_done := true) ]
+  in
+  let check () = (not !insert_done) || Set.contains s 3 in
+  (procs, check)
+
+let explore_with (module S : Stm_intf.S) =
+  let holds = ref (fun () -> true) in
+  Explore.explore ~max_runs:4_000
+    { Explore.procs =
+        (fun () ->
+          let procs, check = scenario (module S) () in
+          holds := check;
+          procs);
+      check = (fun _ -> !holds ()) }
+
+let test_window1_loses_updates () =
+  match explore_with (module Oestm.Oe_window1) with
+  | Explore.Violation _ -> ()
+  | Explore.All_ok { explored } | Explore.Out_of_budget { explored } ->
+    Alcotest.failf
+      "expected the one-read window to lose an update; %d interleavings \
+       found none"
+      explored
+
+let test_window2_is_safe () =
+  match explore_with (module Oestm.Oe) with
+  | Explore.Violation { schedule; _ } ->
+    Alcotest.failf "window-2 lost an update under schedule [%s]"
+      (String.concat ";" (List.map string_of_int schedule))
+  | Explore.All_ok _ | Explore.Out_of_budget _ -> ()
+
+let test_classic_is_safe () =
+  match explore_with (module Classic_stm.Tl2) with
+  | Explore.Violation _ -> Alcotest.fail "TL2 lost an update"
+  | Explore.All_ok _ | Explore.Out_of_budget _ -> ()
+
+(* Regression for the detached-node races the exhaustive linearizability
+   checker uncovered: a remove must tombstone the removed cell, or a
+   concurrent remove/add that resolved its write point to that node stores
+   into a detached cell and the committed effect vanishes. *)
+let detached_node_scenario (module S : Stm_intf.S) second_op () =
+  let module Set = Eec.Linked_list_set.Make (S) (Eec.Set_intf.Int_key) in
+  let s = Set.create () in
+  Set.unsafe_preload s [ 1; 3 ];
+  let r1 = ref false and r2 = ref false in
+  let d1 = ref false and d2 = ref false in
+  let procs =
+    [ (fun () ->
+        r1 := Set.remove s 1;
+        d1 := true);
+      (fun () ->
+        (r2 :=
+           match second_op with
+           | `Remove k -> Set.remove s k
+           | `Add k -> Set.add s k);
+        d2 := true) ]
+  in
+  let check () =
+    (not (!d1 && !d2))
+    ||
+    match second_op with
+    | `Remove k -> (not !r2) || not (Set.contains s k)
+    | `Add k -> (not !r2) || Set.contains s k
+  in
+  (procs, check)
+
+let test_detached_node_races (module S : Stm_intf.S) second_op () =
+  let holds = ref (fun () -> true) in
+  match
+    Explore.explore ~max_runs:4_000
+      { Explore.procs =
+          (fun () ->
+            let procs, check = detached_node_scenario (module S) second_op () in
+            holds := check;
+            procs);
+        check = (fun _ -> !holds ()) }
+  with
+  | Explore.Violation { schedule; _ } ->
+    Alcotest.failf "%s: committed effect lost under schedule [%s]" S.name
+      (String.concat ";" (List.map string_of_int schedule))
+  | Explore.All_ok _ | Explore.Out_of_budget _ -> ()
+
+let suite =
+  [ Alcotest.test_case "window-1 elastic loses an update (ablation)" `Slow
+      test_window1_loses_updates;
+    Alcotest.test_case "remove||remove keeps both effects (OE)" `Slow
+      (test_detached_node_races (module Oestm.Oe) (`Remove 3));
+    Alcotest.test_case "remove||remove keeps both effects (drop)" `Slow
+      (test_detached_node_races (module Oestm.E_broken) (`Remove 3));
+    Alcotest.test_case "remove||add keeps both effects (OE)" `Slow
+      (test_detached_node_races (module Oestm.Oe) (`Add 2));
+    Alcotest.test_case "remove||add keeps both effects (TL2)" `Slow
+      (test_detached_node_races (module Classic_stm.Tl2) (`Add 2));
+    Alcotest.test_case "window-2 elastic is safe" `Slow test_window2_is_safe;
+    Alcotest.test_case "classic STM is safe" `Slow test_classic_is_safe ]

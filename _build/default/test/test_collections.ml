@@ -1,0 +1,291 @@
+(* Maps and queues of the package: model-based tests against Stdlib
+   references, atomicity of composed operations under concurrency. *)
+
+open Stm_core
+
+module IntMap = Map.Make (Int)
+
+module Map_battery
+    (S : Stm_intf.S)
+    (Mk : functor (S' : Stm_intf.S) (K : Eec.Set_intf.ORDERED) ->
+      Eec.Set_intf.SET with type elt = K.t) (Name : sig
+      val name : string
+    end) =
+struct
+  module M = Eec.Tx_map.Make (S) (Mk) (Eec.Set_intf.Int_key) (String)
+
+  let test_basic () =
+    let m = M.create () in
+    Alcotest.(check (option string)) "get empty" None (M.get m 1);
+    Alcotest.(check (option string)) "first put" None (M.put m 1 "a");
+    Alcotest.(check (option string)) "get" (Some "a") (M.get m 1);
+    Alcotest.(check (option string)) "overwrite returns prev" (Some "a")
+      (M.put m 1 "b");
+    Alcotest.(check (option string)) "get new" (Some "b") (M.get m 1);
+    Alcotest.(check bool) "mem" true (M.mem m 1);
+    Alcotest.(check (option string)) "remove returns prev" (Some "b")
+      (M.remove m 1);
+    Alcotest.(check (option string)) "remove absent" None (M.remove m 1);
+    Alcotest.(check bool) "gone" false (M.mem m 1)
+
+  let test_put_if_absent () =
+    let m = M.create () in
+    Alcotest.(check (option string)) "fires when absent" None
+      (M.put_if_absent m 1 "a");
+    Alcotest.(check (option string)) "blocked when present" (Some "a")
+      (M.put_if_absent m 1 "b");
+    Alcotest.(check (option string)) "binding unchanged" (Some "a") (M.get m 1)
+
+  let test_update () =
+    let m = M.create () in
+    ignore (M.put m 1 "x");
+    let prev =
+      M.update m 1 (function Some v -> Some (v ^ "!") | None -> Some "?")
+    in
+    Alcotest.(check (option string)) "update sees previous" (Some "x") prev;
+    Alcotest.(check (option string)) "updated" (Some "x!") (M.get m 1);
+    ignore (M.update m 1 (fun _ -> None));
+    Alcotest.(check bool) "update to None removes" false (M.mem m 1);
+    ignore (M.update m 2 (function None -> Some "new" | s -> s));
+    Alcotest.(check (option string)) "update inserts" (Some "new") (M.get m 2)
+
+  let test_bindings_sorted () =
+    let m = M.create () in
+    M.put_all m [ (3, "c"); (1, "a"); (2, "b") ];
+    Alcotest.(check (list (pair int string))) "bindings ascending"
+      [ (1, "a"); (2, "b"); (3, "c") ]
+      (M.bindings m);
+    Alcotest.(check int) "size" 3 (M.size m);
+    Alcotest.(check bool) "remove_all" true (M.remove_all m [ 1; 9 ]);
+    Alcotest.(check (list (pair int string))) "after remove_all"
+      [ (2, "b"); (3, "c") ]
+      (M.bindings m);
+    Alcotest.(check bool) "invariants" true
+      (Result.is_ok (M.check_invariants m))
+
+  let prop_model =
+    QCheck.Test.make
+      ~name:(Name.name ^ ": map agrees with Stdlib.Map")
+      ~count:120
+      QCheck.(list (pair (int_bound 15) (int_bound 2)))
+      (fun cmds ->
+        let m = M.create () in
+        let model = ref IntMap.empty in
+        List.for_all
+          (fun (k, tag) ->
+            match tag with
+            | 0 ->
+              let v = string_of_int k in
+              let prev = IntMap.find_opt k !model in
+              model := IntMap.add k v !model;
+              M.put m k v = prev
+            | 1 ->
+              let prev = IntMap.find_opt k !model in
+              model := IntMap.remove k !model;
+              M.remove m k = prev
+            | _ -> M.get m k = IntMap.find_opt k !model)
+          cmds
+        && M.bindings m = IntMap.bindings !model
+        && M.size m = IntMap.cardinal !model)
+
+  let test_concurrent_disjoint_keys () =
+    (* Domains own disjoint key ranges: the final map is exactly the union
+       of what each wrote. *)
+    let m = M.create () in
+    let per = 50 in
+    let work d () =
+      for i = 0 to per - 1 do
+        let k = (d * 1000) + i in
+        ignore (M.put m k (string_of_int k));
+        if i mod 3 = 0 then
+          ignore (M.update m k (Option.map (fun v -> v ^ "*")))
+      done
+    in
+    let domains = List.init 4 (fun d -> Domain.spawn (work d)) in
+    List.iter Domain.join domains;
+    Alcotest.(check int) "all bindings present" (4 * per) (M.size m);
+    Alcotest.(check bool) "invariants" true
+      (Result.is_ok (M.check_invariants m))
+
+  let test_concurrent_counters () =
+    (* Many domains increment shared counters through [update]: no lost
+       updates. *)
+    let module MC = Eec.Tx_map.Make (S) (Mk) (Eec.Set_intf.Int_key) (Int) in
+    let m = MC.create () in
+    let per = 150 and keys = 4 in
+    let work seed () =
+      let st = ref (seed + 1) in
+      for _ = 1 to per do
+        st := (!st * 48271) mod 2147483647;
+        let k = !st mod keys in
+        ignore
+          (MC.update m k (function None -> Some 1 | Some n -> Some (n + 1)))
+      done
+    in
+    let domains = List.init 4 (fun i -> Domain.spawn (work i)) in
+    List.iter Domain.join domains;
+    let total =
+      List.fold_left (fun acc (_, n) -> acc + n) 0 (MC.bindings m)
+    in
+    Alcotest.(check int) "no lost increments" (4 * per) total
+
+  let suite =
+    [ Alcotest.test_case (Name.name ^ " basics") `Quick test_basic;
+      Alcotest.test_case (Name.name ^ " put_if_absent") `Quick
+        test_put_if_absent;
+      Alcotest.test_case (Name.name ^ " update") `Quick test_update;
+      Alcotest.test_case (Name.name ^ " bindings/size") `Quick
+        test_bindings_sorted;
+      QCheck_alcotest.to_alcotest prop_model;
+      Alcotest.test_case (Name.name ^ " concurrent disjoint keys") `Slow
+        test_concurrent_disjoint_keys;
+      Alcotest.test_case (Name.name ^ " concurrent counters") `Slow
+        test_concurrent_counters ]
+end
+
+module Queue_battery (S : Stm_intf.S) (Name : sig
+  val name : string
+end) =
+struct
+  module Q = Eec.Tx_queue.Make (S)
+
+  let test_fifo () =
+    let q = Q.create () in
+    Alcotest.(check bool) "fresh empty" true (Q.is_empty q);
+    Alcotest.(check (option int)) "dequeue empty" None (Q.dequeue_opt q);
+    Q.enqueue q 1;
+    Q.enqueue q 2;
+    Q.enqueue q 3;
+    Alcotest.(check (option int)) "peek" (Some 1) (Q.peek_opt q);
+    Alcotest.(check int) "size" 3 (Q.size q);
+    Alcotest.(check (list int)) "to_list order" [ 1; 2; 3 ] (Q.to_list q);
+    Alcotest.(check (option int)) "dequeue 1" (Some 1) (Q.dequeue_opt q);
+    Alcotest.(check (option int)) "dequeue 2" (Some 2) (Q.dequeue_opt q);
+    Q.enqueue q 4;
+    Alcotest.(check (list int)) "wrap" [ 3; 4 ] (Q.to_list q);
+    Alcotest.(check (option int)) "dequeue 3" (Some 3) (Q.dequeue_opt q);
+    Alcotest.(check (option int)) "dequeue 4" (Some 4) (Q.dequeue_opt q);
+    Alcotest.(check bool) "empty again" true (Q.is_empty q);
+    Q.enqueue q 9;
+    Alcotest.(check (list int)) "usable after emptying" [ 9 ] (Q.to_list q)
+
+  let prop_model =
+    QCheck.Test.make ~name:(Name.name ^ ": queue agrees with Stdlib.Queue")
+      ~count:150
+      QCheck.(list (option (int_bound 50)))
+      (fun cmds ->
+        (* Some v = enqueue v; None = dequeue *)
+        let q = Q.create () in
+        let model = Queue.create () in
+        List.for_all
+          (fun cmd ->
+            match cmd with
+            | Some v ->
+              Q.enqueue q v;
+              Queue.push v model;
+              true
+            | None -> Q.dequeue_opt q = Queue.take_opt model)
+          cmds
+        && Q.to_list q = List.of_seq (Queue.to_seq model)
+        && Q.size q = Queue.length model)
+
+  let test_producers_consumers () =
+    let q = Q.create () in
+    let produced = 200 and producers = 2 and consumers = 2 in
+    let consumed = Array.make consumers [] in
+    let done_producing = Atomic.make 0 in
+    let producer d () =
+      for i = 0 to produced - 1 do
+        Q.enqueue q ((d * 10_000) + i)
+      done;
+      ignore (Atomic.fetch_and_add done_producing 1)
+    in
+    let consumer c () =
+      let continue = ref true in
+      while !continue do
+        match Q.dequeue_opt q with
+        | Some v -> consumed.(c) <- v :: consumed.(c)
+        | None ->
+          if Atomic.get done_producing = producers && Q.is_empty q then
+            continue := false
+          else Domain.cpu_relax ()
+      done
+    in
+    let ds =
+      List.init producers (fun d -> Domain.spawn (producer d))
+      @ List.init consumers (fun c -> Domain.spawn (consumer c))
+    in
+    List.iter Domain.join ds;
+    let all = Array.to_list consumed |> List.concat |> List.sort compare in
+    let expected =
+      List.concat_map
+        (fun d -> List.init produced (fun i -> (d * 10_000) + i))
+        (List.init producers Fun.id)
+      |> List.sort compare
+    in
+    Alcotest.(check int) "every item consumed exactly once"
+      (List.length expected) (List.length all);
+    Alcotest.(check bool) "no duplicates or losses" true (all = expected)
+
+  let test_atomic_drain () =
+    (* drain_into moves everything in one transaction: an observer never
+       sees items split across the two queues. *)
+    let a = Q.create () and b = Q.create () in
+    let module S' = S in
+    let n = 32 in
+    Q.enqueue_all a (List.init n Fun.id);
+    let stop = Atomic.make false in
+    let bad = Atomic.make 0 in
+    let observer () =
+      while not (Atomic.get stop) do
+        let totals =
+          S'.atomic ~mode:Stm_intf.Elastic (fun _ -> (Q.size a, Q.size b))
+        in
+        match totals with
+        | x, y when x + y = n && (x = 0 || y = 0) -> ()
+        | _ -> ignore (Atomic.fetch_and_add bad 1)
+      done
+    in
+    let mover () =
+      for _ = 1 to 20 do
+        ignore (Q.drain_into ~src:a ~dst:b);
+        ignore (Q.drain_into ~src:b ~dst:a)
+      done;
+      Atomic.set stop true
+    in
+    let ds = [ Domain.spawn observer; Domain.spawn mover ] in
+    List.iter Domain.join ds;
+    Alcotest.(check int) "drain is atomic" 0 (Atomic.get bad);
+    Alcotest.(check int) "nothing lost" n (Q.size a + Q.size b)
+
+  let suite =
+    [ Alcotest.test_case (Name.name ^ " fifo") `Quick test_fifo;
+      QCheck_alcotest.to_alcotest prop_model;
+      Alcotest.test_case (Name.name ^ " producers/consumers") `Slow
+        test_producers_consumers;
+      Alcotest.test_case (Name.name ^ " atomic drain") `Slow test_atomic_drain ]
+end
+
+module Skip_map_oe =
+  Map_battery (Oestm.Oe) (Eec.Skip_list_set.Make)
+    (struct let name = "skipmap/OE" end)
+
+module Hash_map_oe =
+  Map_battery (Oestm.Oe) (Eec.Hash_set.Make)
+    (struct let name = "hashmap/OE" end)
+
+module Ll_map_tl2 =
+  Map_battery (Classic_stm.Tl2) (Eec.Linked_list_set.Make)
+    (struct let name = "llmap/TL2" end)
+
+module Queue_oe = Queue_battery (Oestm.Oe) (struct let name = "queue/OE" end)
+
+module Queue_swiss =
+  Queue_battery (Classic_stm.Swisstm) (struct let name = "queue/Swiss" end)
+
+let suites =
+  [ ("map:skiplist-OE", Skip_map_oe.suite);
+    ("map:hashset-OE", Hash_map_oe.suite);
+    ("map:linkedlist-TL2", Ll_map_tl2.suite);
+    ("queue:OE", Queue_oe.suite);
+    ("queue:SwissTM", Queue_swiss.suite) ]

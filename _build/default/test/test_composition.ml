@@ -1,0 +1,206 @@
+(* The heart of the reproduction: composing elastic transactions.
+
+   Scenario (the paper's Fig. 1, made observable): two flags x and y with
+   the invariant "never both set".  Each process runs
+   insertIfAbsent(mine, other) — a composition of an elastic contains
+   (child transaction 1) and an elastic insert (child transaction 2).
+
+   - Under OE-STM (outheritance) NO interleaving can set both flags.
+   - Under E-STM(drop) (elastic children whose conflict information is
+     discarded at child commit) SOME interleaving sets both — the explorer
+     finds it, and the recorded history of that schedule violates
+     outheritance and weak composability, connecting the implementation to
+     Theorems 4.3/4.4.
+   - The classic STMs (flat nesting) also pass every interleaving. *)
+
+open Stm_core
+open Schedsim
+
+(* One scenario instance: fresh flags + the two composed operations. *)
+let make_scenario (module S : Stm_intf.S) =
+  let x = S.tvar false and y = S.tvar false in
+  let contains tv = S.atomic ~mode:Elastic (fun ctx -> S.read ctx tv) in
+  let insert tv = S.atomic ~mode:Elastic (fun ctx -> S.write ctx tv true) in
+  let insert_if_absent ~target ~guard =
+    S.atomic ~mode:Elastic (fun _ ->
+        if not (contains guard) then insert target)
+  in
+  let procs =
+    [ (fun () -> insert_if_absent ~target:x ~guard:y);
+      (fun () -> insert_if_absent ~target:y ~guard:x) ]
+  in
+  let invariant_holds () = not (S.peek x && S.peek y) in
+  (procs, invariant_holds)
+
+let explore_scenario (module S : Stm_intf.S) ~max_runs =
+  let holds = ref (fun () -> true) in
+  Explore.explore ~max_runs
+    { Explore.procs =
+        (fun () ->
+          let procs, invariant = make_scenario (module S) in
+          holds := invariant;
+          procs);
+      check = (fun _outcome -> !holds ()) }
+
+let test_safe (module S : Stm_intf.S) () =
+  match explore_scenario (module S) ~max_runs:4_000 with
+  | Explore.Violation { schedule; explored } ->
+    Alcotest.failf "%s: both flags set after %d runs, schedule [%s]" S.name
+      explored
+      (String.concat ";" (List.map string_of_int schedule))
+  | Explore.All_ok { explored } ->
+    Alcotest.(check bool)
+      (S.name ^ ": explored a meaningful number of interleavings")
+      true (explored > 50)
+  | Explore.Out_of_budget _ -> ()
+
+let test_broken_composition_found () =
+  match explore_scenario (module Oestm.E_broken) ~max_runs:4_000 with
+  | Explore.Violation _ -> ()
+  | Explore.All_ok { explored } | Explore.Out_of_budget { explored } ->
+    Alcotest.failf
+      "expected an atomicity violation from drop-composition; %d runs found \
+       none"
+      explored
+
+(* ------------------------------------------------------------------ *)
+(* Recorded histories: implementation meets theory                     *)
+
+(* Run [insertIfAbsent] to completion on process 0 alone (a serial
+   schedule), record the trace, and inspect the composition formed by its
+   two children. *)
+let record_serial_composition (module S : Stm_intf.S) =
+  let events, _ =
+    Recorder.record (fun () ->
+        let procs, _ = make_scenario (module S) in
+        Sched.run [ List.nth procs 0 ])
+  in
+  Histories.Convert.to_history events
+
+let children_of_proc h p =
+  (* Committed transactions of process p in commit order; the root is the
+     last one to commit, the children precede it. *)
+  let committed = Histories.History.committed h in
+  let of_p = List.filter (fun t -> Histories.History.proc_of_tx h t = p) committed in
+  match List.rev of_p with
+  | _root :: rest -> List.rev rest
+  | [] -> []
+
+let test_recorded_outheritance_oe () =
+  let h = record_serial_composition (module Oestm.Oe) in
+  Alcotest.(check bool) "history well-formed" true
+    (Result.is_ok (Histories.History.well_formed h));
+  let children = children_of_proc h 0 in
+  Alcotest.(check int) "two children (contains, insert)" 2
+    (List.length children);
+  let c = Histories.Composition.make_exn h children in
+  Alcotest.(check bool) "OE-STM recorded run satisfies outheritance" true
+    (Histories.Outheritance.satisfies h c)
+
+let test_recorded_outheritance_broken () =
+  let h = record_serial_composition (module Oestm.E_broken) in
+  let children = children_of_proc h 0 in
+  let c = Histories.Composition.make_exn h children in
+  Alcotest.(check bool) "drop-composition violates outheritance" false
+    (Histories.Outheritance.satisfies h c)
+
+(* Replay the violating schedule found by the explorer under recording and
+   check the history: outheritance is violated there too. *)
+let test_violating_schedule_history () =
+  match explore_scenario (module Oestm.E_broken) ~max_runs:4_000 with
+  | Explore.All_ok _ | Explore.Out_of_budget _ ->
+    Alcotest.fail "expected to find a violating schedule"
+  | Explore.Violation { schedule; _ } ->
+    let events, invariant_held =
+      Recorder.record (fun () ->
+          let procs, invariant = make_scenario (module Oestm.E_broken) in
+          let _outcome = Sched.run_schedule ~schedule procs in
+          invariant ())
+    in
+    Alcotest.(check bool) "replay reproduces the violation" false
+      invariant_held;
+    let h = Histories.Convert.to_history events in
+    Alcotest.(check bool) "replayed history is well-formed" true
+      (Result.is_ok (Histories.History.well_formed h));
+    (* Process 0's children form a composition; under the violating
+       schedule the protection of the contains child was dropped early. *)
+    let children = children_of_proc h 0 in
+    if List.length children = 2 then begin
+      let c = Histories.Composition.make_exn h children in
+      Alcotest.(check bool) "violating run breaks outheritance" false
+        (Histories.Outheritance.satisfies h c)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Joint weak composition-consistency                                   *)
+
+let register_env =
+  Histories.Spec.all_registers ~init:(fun _ -> Recorder.repr_of_value false)
+
+let compositions_of h =
+  List.filter_map
+    (fun p ->
+      match children_of_proc h p with
+      | _ :: _ :: _ as children -> (
+        match Histories.Composition.make h children with
+        | Ok c -> Some c
+        | Error _ -> None)
+      | _ -> None)
+    (Histories.History.procs h)
+
+(* The violating drop-composition run admits a witness for each composition
+   alone, but no single serialisation satisfies both - joint weak
+   consistency is what detects the mutual insertIfAbsent violation. *)
+let test_joint_weak_consistency_broken () =
+  match explore_scenario (module Oestm.E_broken) ~max_runs:4_000 with
+  | Explore.All_ok _ | Explore.Out_of_budget _ ->
+    Alcotest.fail "expected to find a violating schedule"
+  | Explore.Violation { schedule; _ } ->
+    let events, _ =
+      Recorder.record (fun () ->
+          let procs, _ = make_scenario (module Oestm.E_broken) in
+          Sched.run_schedule ~schedule procs)
+    in
+    let h = Histories.Convert.to_history events in
+    let cs = compositions_of h in
+    Alcotest.(check int) "both processes composed" 2 (List.length cs);
+    Alcotest.(check bool) "not jointly weakly consistent" true
+      (Histories.Composition.weakly_consistent ~env:register_env h cs
+      = Histories.Search.No_witness)
+
+let test_joint_weak_consistency_oe () =
+  (* OE-STM under a genuinely interleaved schedule: the recorded history
+     must stay jointly weakly consistent. *)
+  let events, _ =
+    Recorder.record (fun () ->
+        let procs, _ = make_scenario (module Oestm.Oe) in
+        Sched.run procs)
+  in
+  let h = Histories.Convert.to_history events in
+  let cs = compositions_of h in
+  Alcotest.(check bool) "at least one composition" true (cs <> []);
+  Alcotest.(check bool) "jointly weakly consistent" true
+    (Histories.Composition.weakly_consistent ~env:register_env h cs
+    = Histories.Search.Witness_found)
+
+let suite =
+  [ Alcotest.test_case "OE-STM: no interleaving breaks the invariant" `Slow
+      (test_safe (module Oestm.Oe));
+    Alcotest.test_case "TL2: no interleaving breaks the invariant" `Slow
+      (test_safe (module Classic_stm.Tl2));
+    Alcotest.test_case "LSA: no interleaving breaks the invariant" `Slow
+      (test_safe (module Classic_stm.Lsa));
+    Alcotest.test_case "SwissTM: no interleaving breaks the invariant" `Slow
+      (test_safe (module Classic_stm.Swisstm));
+    Alcotest.test_case "drop-composition violation exists (Fig. 1)" `Slow
+      test_broken_composition_found;
+    Alcotest.test_case "recorded OE-STM run satisfies outheritance" `Quick
+      test_recorded_outheritance_oe;
+    Alcotest.test_case "recorded drop run violates outheritance" `Quick
+      test_recorded_outheritance_broken;
+    Alcotest.test_case "violating schedule's history breaks outheritance"
+      `Slow test_violating_schedule_history;
+    Alcotest.test_case "joint weak consistency rejects the violation" `Slow
+      test_joint_weak_consistency_broken;
+    Alcotest.test_case "OE-STM runs are jointly weakly consistent" `Quick
+      test_joint_weak_consistency_oe ]

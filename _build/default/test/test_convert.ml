@@ -1,0 +1,104 @@
+(* The recorder-to-history bridge: attribution of events to top-level
+   attempts, removal of aborted attempts (including their committed
+   children and protection-element events), and the shape of converted
+   operation events. *)
+
+open Stm_core
+
+let ev_begin tx proc : Recorder.event = Begin { tx; proc }
+let ev_commit tx proc : Recorder.event = Commit { tx; proc }
+let ev_abort tx proc : Recorder.event = Abort { tx; proc }
+let ev_read pe tx v : Recorder.event = Read { pe; tx; value_repr = v }
+let ev_write pe tx v : Recorder.event = Write { pe; tx; value_repr = v }
+let ev_acq pe proc : Recorder.event = Acquire { pe; proc }
+let ev_rel pe proc : Recorder.event = Release { pe; proc }
+
+let test_simple_commit () =
+  let h =
+    Histories.Convert.to_history
+      [ ev_begin 1 0; ev_acq 5 0; ev_read 5 1 42; ev_commit 1 0; ev_rel 5 0 ]
+  in
+  Alcotest.(check (list int)) "committed" [ 1 ] (Histories.History.committed h);
+  Alcotest.(check int) "five events kept" 5 (Histories.History.length h);
+  Alcotest.(check bool) "well-formed" true
+    (Result.is_ok (Histories.History.well_formed h))
+
+let test_aborted_attempt_dropped () =
+  (* First attempt aborts (with a committed child inside!); the retry
+     commits.  Only the retry's events survive. *)
+  let h =
+    Histories.Convert.to_history
+      [ ev_begin 1 0; ev_acq 5 0; ev_read 5 1 0;
+        ev_begin 2 0; ev_read 5 2 0; ev_commit 2 0;  (* child commits *)
+        ev_abort 1 0; ev_rel 5 0;                    (* ...attempt aborts *)
+        ev_begin 3 0; ev_acq 5 0; ev_read 5 3 0; ev_commit 3 0; ev_rel 5 0 ]
+  in
+  Alcotest.(check (list int)) "only the retry survives" [ 3 ]
+    (Histories.History.committed h);
+  Alcotest.(check (list int)) "no aborted tx left" []
+    (Histories.History.aborted h);
+  (* The aborted attempt's acquire/release must be gone too, or the
+     retry's acquire would break relax-seriality. *)
+  Alcotest.(check bool) "relax-serial" true (Histories.History.relax_serial h);
+  Alcotest.(check int) "exactly the retry's events" 5
+    (Histories.History.length h)
+
+let test_post_commit_releases_attributed () =
+  (* Releases arriving after the top-level commit belong to the attempt
+     that just finished: if that attempt aborted they are dropped, if it
+     committed they are kept. *)
+  let h =
+    Histories.Convert.to_history
+      [ ev_begin 1 0; ev_acq 5 0; ev_read 5 1 0; ev_abort 1 0; ev_rel 5 0;
+        ev_begin 2 0; ev_acq 5 0; ev_read 5 2 0; ev_commit 2 0; ev_rel 5 0 ]
+  in
+  Alcotest.(check int) "aborted attempt with trailing release dropped" 5
+    (Histories.History.length h);
+  Alcotest.(check bool) "relax-serial" true (Histories.History.relax_serial h)
+
+let test_nested_commits_kept () =
+  let h =
+    Histories.Convert.to_history
+      [ ev_begin 1 0; ev_begin 2 0; ev_acq 5 0; ev_read 5 2 7; ev_commit 2 0;
+        ev_begin 3 0; ev_write 6 3 9; ev_acq 6 0; ev_commit 3 0;
+        ev_commit 1 0; ev_rel 5 0; ev_rel 6 0 ]
+  in
+  Alcotest.(check (list int)) "children and root committed" [ 2; 3; 1 ]
+    (Histories.History.committed h);
+  Alcotest.(check bool) "well-formed (nested)" true
+    (Result.is_ok (Histories.History.well_formed h))
+
+let test_ops_become_register_ops () =
+  let h =
+    Histories.Convert.to_history
+      [ ev_begin 1 0; ev_acq 5 0; ev_write 5 1 42; ev_read 5 1 42;
+        ev_commit 1 0; ev_rel 5 0 ]
+  in
+  let env = Histories.Spec.all_registers ~init:(fun _ -> 0) in
+  Alcotest.(check bool) "write-then-read legal" true
+    (Histories.History.legal ~env h);
+  Alcotest.(check (list int)) "object ids preserved" [ 5 ]
+    (Histories.History.objects h)
+
+let test_interleaved_processes () =
+  let h =
+    Histories.Convert.to_history
+      [ ev_begin 1 0; ev_begin 2 1; ev_acq 5 0; ev_read 5 1 0; ev_abort 1 0;
+        ev_rel 5 0; ev_acq 5 1; ev_read 5 2 0; ev_commit 2 1; ev_rel 5 1 ]
+  in
+  Alcotest.(check (list int)) "p1's tx survives" [ 2 ]
+    (Histories.History.committed h);
+  Alcotest.(check (list int)) "p0's aborted attempt dropped" []
+    (Histories.History.aborted h)
+
+let suite =
+  [ Alcotest.test_case "simple commit" `Quick test_simple_commit;
+    Alcotest.test_case "aborted attempts dropped wholesale" `Quick
+      test_aborted_attempt_dropped;
+    Alcotest.test_case "post-commit releases attributed" `Quick
+      test_post_commit_releases_attributed;
+    Alcotest.test_case "nested commits kept" `Quick test_nested_commits_kept;
+    Alcotest.test_case "ops become register ops" `Quick
+      test_ops_become_register_ops;
+    Alcotest.test_case "interleaved processes" `Quick
+      test_interleaved_processes ]

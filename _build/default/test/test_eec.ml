@@ -1,0 +1,291 @@
+(* The e.e.c collections, tested three ways:
+   1. model-based: random operation sequences agree with a reference
+      implementation (Stdlib.Set) — per structure, per STM;
+   2. structural invariants hold after random workloads;
+   3. concurrency: parallel domains hammering the structure preserve
+      invariants, and composed operations (add_all / move / size) stay
+      atomic. *)
+
+open Stm_core
+
+module IntSet = Set.Make (Int)
+
+(* One test battery per (STM, structure) pair. *)
+module Battery
+    (S : Stm_intf.S) (Mk : functor (S' : Stm_intf.S) (K : Eec.Set_intf.ORDERED) ->
+      Eec.Set_intf.SET with type elt = K.t) (Name : sig
+      val name : string
+    end) =
+struct
+  module TSet = Mk (S) (Eec.Set_intf.Int_key)
+
+  let test_basic () =
+    let s = TSet.create () in
+    Alcotest.(check bool) "empty contains" false (TSet.contains s 5);
+    Alcotest.(check bool) "add new" true (TSet.add s 5);
+    Alcotest.(check bool) "add dup" false (TSet.add s 5);
+    Alcotest.(check bool) "contains after add" true (TSet.contains s 5);
+    Alcotest.(check bool) "remove present" true (TSet.remove s 5);
+    Alcotest.(check bool) "remove absent" false (TSet.remove s 5);
+    Alcotest.(check bool) "contains after remove" false (TSet.contains s 5)
+
+  let test_ordering () =
+    let s = TSet.create () in
+    List.iter (fun x -> ignore (TSet.add s x)) [ 5; 1; 9; 3; 7; 1; 9 ];
+    Alcotest.(check (list int)) "to_list ascending" [ 1; 3; 5; 7; 9 ]
+      (TSet.to_list s);
+    Alcotest.(check int) "size" 5 (TSet.size s);
+    Alcotest.(check bool) "invariants" true
+      (Result.is_ok (TSet.check_invariants s))
+
+  let test_composed_ops () =
+    let s = TSet.create () in
+    Alcotest.(check bool) "add_all changes" true (TSet.add_all s [ 1; 2; 3 ]);
+    Alcotest.(check bool) "add_all no-op" false (TSet.add_all s [ 1; 2; 3 ]);
+    Alcotest.(check bool) "add_all partial" true (TSet.add_all s [ 3; 4 ]);
+    Alcotest.(check (list int)) "contents" [ 1; 2; 3; 4 ] (TSet.to_list s);
+    Alcotest.(check bool) "remove_all" true (TSet.remove_all s [ 2; 4; 9 ]);
+    Alcotest.(check (list int)) "after remove_all" [ 1; 3 ] (TSet.to_list s);
+    Alcotest.(check bool) "insert_if_absent blocked" false
+      (TSet.insert_if_absent s ~ins:7 ~guard:1);
+    Alcotest.(check bool) "insert_if_absent fires" true
+      (TSet.insert_if_absent s ~ins:7 ~guard:2);
+    Alcotest.(check (list int)) "after insert_if_absent" [ 1; 3; 7 ]
+      (TSet.to_list s)
+
+  let test_move () =
+    let a = TSet.create () and b = TSet.create () in
+    ignore (TSet.add a 1);
+    Alcotest.(check bool) "move present" true (TSet.move ~src:a ~dst:b 1);
+    Alcotest.(check bool) "gone from src" false (TSet.contains a 1);
+    Alcotest.(check bool) "arrived in dst" true (TSet.contains b 1);
+    Alcotest.(check bool) "move absent" false (TSet.move ~src:a ~dst:b 2)
+
+  (* Model-based random testing against Stdlib.Set. *)
+  type cmd = Add of int | Remove of int | Contains of int
+
+  let cmd_gen =
+    QCheck.Gen.(
+      map2
+        (fun tag v -> match tag with 0 -> Add v | 1 -> Remove v | _ -> Contains v)
+        (int_bound 2) (int_bound 31))
+
+  let cmd_print = function
+    | Add v -> Printf.sprintf "add %d" v
+    | Remove v -> Printf.sprintf "remove %d" v
+    | Contains v -> Printf.sprintf "contains %d" v
+
+  let prop_model =
+    QCheck.Test.make
+      ~name:(Name.name ^ ": agrees with Stdlib.Set model")
+      ~count:150
+      QCheck.(make ~print:(fun l -> String.concat "; " (List.map cmd_print l))
+                (QCheck.Gen.list_size (QCheck.Gen.int_bound 60) cmd_gen))
+      (fun cmds ->
+        let s = TSet.create () in
+        let model = ref IntSet.empty in
+        List.for_all
+          (fun cmd ->
+            match cmd with
+            | Add v ->
+              let expect = not (IntSet.mem v !model) in
+              model := IntSet.add v !model;
+              TSet.add s v = expect
+            | Remove v ->
+              let expect = IntSet.mem v !model in
+              model := IntSet.remove v !model;
+              TSet.remove s v = expect
+            | Contains v -> TSet.contains s v = IntSet.mem v !model)
+          cmds
+        && TSet.to_list s = IntSet.elements !model
+        && TSet.size s = IntSet.cardinal !model
+        && Result.is_ok (TSet.check_invariants s))
+
+  let prop_bulk_model =
+    QCheck.Test.make
+      ~name:(Name.name ^ ": add_all/remove_all agree with model")
+      ~count:80
+      QCheck.(pair (list (int_bound 31)) (list (int_bound 31)))
+      (fun (to_add, to_remove) ->
+        let s = TSet.create () in
+        let changed_add = TSet.add_all s to_add in
+        let model = IntSet.of_list to_add in
+        let changed_remove = TSet.remove_all s to_remove in
+        let model = IntSet.diff model (IntSet.of_list to_remove) in
+        changed_add = (to_add <> [])
+        && changed_remove = List.exists (fun x -> List.mem x to_add) to_remove
+        && TSet.to_list s = IntSet.elements model)
+
+  let test_concurrent_invariants () =
+    let s = TSet.create () in
+    let n_domains = 4 and ops = 300 in
+    let work seed () =
+      let st = ref (seed * 7919 + 13) in
+      let next bound =
+        st := (!st * 25214903917 + 11) land max_int;
+        !st mod bound
+      in
+      for _ = 1 to ops do
+        let v = next 64 in
+        match next 3 with
+        | 0 -> ignore (TSet.add s v)
+        | 1 -> ignore (TSet.remove s v)
+        | _ -> ignore (TSet.contains s v)
+      done
+    in
+    let domains = List.init n_domains (fun i -> Domain.spawn (work i)) in
+    List.iter Domain.join domains;
+    Alcotest.(check bool) "invariants after concurrent workload" true
+      (Result.is_ok (TSet.check_invariants s));
+    Alcotest.(check int) "size matches contents" (List.length (TSet.to_list s))
+      (TSet.size s)
+
+  let test_concurrent_move_conserves () =
+    (* Tokens move between two sets concurrently; the total number must be
+       conserved — the motivating example for composition. *)
+    let a = TSet.create () and b = TSet.create () in
+    let n_tokens = 16 in
+    for i = 0 to n_tokens - 1 do
+      ignore (TSet.add a i)
+    done;
+    let mover src dst seed () =
+      let st = ref (seed + 3) in
+      let next bound =
+        st := (!st * 2862933555777941757 + 1442695040888963407) land max_int;
+        !st mod bound
+      in
+      for _ = 1 to 150 do
+        ignore (TSet.move ~src ~dst (next n_tokens))
+      done
+    in
+    let domains =
+      [ Domain.spawn (mover a b 1); Domain.spawn (mover b a 2);
+        Domain.spawn (mover a b 3); Domain.spawn (mover b a 4) ]
+    in
+    List.iter Domain.join domains;
+    let total = TSet.size a + TSet.size b in
+    Alcotest.(check int) "tokens conserved" n_tokens total;
+    (* No token duplicated across the two sets. *)
+    let la = TSet.to_list a and lb = TSet.to_list b in
+    Alcotest.(check int) "no duplication"
+      n_tokens
+      (IntSet.cardinal (IntSet.union (IntSet.of_list la) (IntSet.of_list lb)))
+
+  let test_concurrent_size_atomic () =
+    (* add_all inserts pairs; size must always observe an even count. *)
+    let s = TSet.create () in
+    let stop = Atomic.make false in
+    let odd_seen = Atomic.make 0 in
+    let writer =
+      Domain.spawn (fun () ->
+          for i = 0 to 99 do
+            ignore (TSet.add_all s [ 2 * i; (2 * i) + 1 ])
+          done;
+          Atomic.set stop true)
+    in
+    let reader =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop) do
+            if TSet.size s mod 2 = 1 then ignore (Atomic.fetch_and_add odd_seen 1)
+          done)
+    in
+    Domain.join writer;
+    Domain.join reader;
+    Alcotest.(check int) "size never observes a half add_all" 0
+      (Atomic.get odd_seen)
+
+  let suite =
+    [ Alcotest.test_case (Name.name ^ " basics") `Quick test_basic;
+      Alcotest.test_case (Name.name ^ " ordering") `Quick test_ordering;
+      Alcotest.test_case (Name.name ^ " composed ops") `Quick test_composed_ops;
+      Alcotest.test_case (Name.name ^ " move") `Quick test_move;
+      QCheck_alcotest.to_alcotest prop_model;
+      QCheck_alcotest.to_alcotest prop_bulk_model;
+      Alcotest.test_case (Name.name ^ " concurrent invariants") `Slow
+        test_concurrent_invariants;
+      Alcotest.test_case (Name.name ^ " concurrent move conserves") `Slow
+        test_concurrent_move_conserves;
+      Alcotest.test_case (Name.name ^ " size is atomic") `Slow
+        test_concurrent_size_atomic ]
+end
+
+(* Sequential baselines share the model tests. *)
+let seq_model_suite =
+  let module M = Seqds.Linked_list (Seqds.Int_key) in
+  let module Sk = Seqds.Skip_list (Seqds.Int_key) in
+  let module H = Seqds.Hash (Seqds.Int_key) in
+  let mk_prop (type t) name (create : unit -> t) (add : t -> int -> bool)
+      (remove : t -> int -> bool) (contains : t -> int -> bool)
+      (to_list : t -> int list) =
+    QCheck.Test.make ~name ~count:200
+      QCheck.(list (pair (int_bound 2) (int_bound 31)))
+      (fun cmds ->
+        let s = create () in
+        let model = ref IntSet.empty in
+        List.for_all
+          (fun (tag, v) ->
+            match tag with
+            | 0 ->
+              let e = not (IntSet.mem v !model) in
+              model := IntSet.add v !model;
+              add s v = e
+            | 1 ->
+              let e = IntSet.mem v !model in
+              model := IntSet.remove v !model;
+              remove s v = e
+            | _ -> contains s v = IntSet.mem v !model)
+          cmds
+        && to_list s = IntSet.elements !model)
+  in
+  [ QCheck_alcotest.to_alcotest
+      (mk_prop "seq linked list model" M.create M.add M.remove M.contains
+         M.to_list);
+    QCheck_alcotest.to_alcotest
+      (mk_prop "seq skip list model" Sk.create Sk.add Sk.remove Sk.contains
+         Sk.to_list);
+    QCheck_alcotest.to_alcotest
+      (mk_prop "seq hash set model" H.create H.add H.remove H.contains
+         H.to_list) ]
+
+module Ll_oe =
+  Battery (Oestm.Oe) (Eec.Linked_list_set.Make)
+    (struct let name = "ll/OE" end)
+
+module Ll_tl2 =
+  Battery (Classic_stm.Tl2) (Eec.Linked_list_set.Make)
+    (struct let name = "ll/TL2" end)
+
+module Ll_lsa =
+  Battery (Classic_stm.Lsa) (Eec.Linked_list_set.Make)
+    (struct let name = "ll/LSA" end)
+
+module Ll_swiss =
+  Battery (Classic_stm.Swisstm) (Eec.Linked_list_set.Make)
+    (struct let name = "ll/Swiss" end)
+
+module Sk_oe =
+  Battery (Oestm.Oe) (Eec.Skip_list_set.Make)
+    (struct let name = "skip/OE" end)
+
+module Sk_tl2 =
+  Battery (Classic_stm.Tl2) (Eec.Skip_list_set.Make)
+    (struct let name = "skip/TL2" end)
+
+module Hs_oe =
+  Battery (Oestm.Oe) (Eec.Hash_set.Make)
+    (struct let name = "hash/OE" end)
+
+module Hs_swiss =
+  Battery (Classic_stm.Swisstm) (Eec.Hash_set.Make)
+    (struct let name = "hash/Swiss" end)
+
+let suites =
+  [ ("eec:linkedlist-OE", Ll_oe.suite);
+    ("eec:linkedlist-TL2", Ll_tl2.suite);
+    ("eec:linkedlist-LSA", Ll_lsa.suite);
+    ("eec:linkedlist-Swiss", Ll_swiss.suite);
+    ("eec:skiplist-OE", Sk_oe.suite);
+    ("eec:skiplist-TL2", Sk_tl2.suite);
+    ("eec:hashset-OE", Hs_oe.suite);
+    ("eec:hashset-Swiss", Hs_swiss.suite);
+    ("eec:sequential", seq_model_suite) ]

@@ -1,0 +1,256 @@
+(* The elastic relaxation itself (Sections II.A and V):
+
+   - an update transaction whose read-only *prefix* is invalidated by a
+     concurrent commit still commits under elastic mode (the win of
+     Fig. 6), while regular mode and the classic STMs abort and retry;
+   - a conflict *inside the window* (the immediate past reads) aborts the
+     elastic transaction too — elasticity is not a license to miss real
+     conflicts;
+   - the minimal protected set recorded for elastic transactions matches
+     Section V: the sliding window for a read-only transaction, and
+     window-at-first-write plus everything after for an updater.  (Our
+     window spans the last two reads — the width chain updates need — so
+     Pmin of a read-only traversal is its last two reads rather than just
+     {r_n}.) *)
+
+open Stm_core
+
+(* Helpers: each scenario resets the STM's stats, runs one victim
+   transaction, and fires an independent interfering transaction from
+   another domain at a marked point of the victim's first attempt. *)
+
+let once fired f () =
+  if not !fired then begin
+    fired := true;
+    Domain.join (Domain.spawn f)
+  end
+
+let prefix_scenario (module S : Stm_intf.S) ~mode =
+  let a = S.tvar 0 and b = S.tvar 0 and c = S.tvar 0 and d = S.tvar 0 in
+  Stats.reset S.stats;
+  let fired = ref false in
+  let mark = once fired (fun () -> S.atomic (fun ctx -> S.write ctx a 9)) in
+  S.atomic ~mode (fun ctx ->
+      ignore (S.read ctx a);
+      ignore (S.read ctx b);
+      ignore (S.read ctx c);
+      (* a has left the two-read window {b, c}; a concurrent commit to it
+         is a prefix conflict. *)
+      mark ();
+      S.write ctx d 1);
+  ((Stats.snapshot S.stats).Stats.aborts, S.peek a, S.peek d)
+
+let test_elastic_ignores_prefix_conflict () =
+  let aborts, a, d = prefix_scenario (module Oestm.Oe) ~mode:Stm_intf.Elastic in
+  Alcotest.(check int) "no abort under elastic mode" 0 aborts;
+  Alcotest.(check (pair int int)) "both commits applied" (9, 1) (a, d)
+
+let test_regular_aborts_on_prefix_conflict () =
+  let aborts, a, d = prefix_scenario (module Oestm.Oe) ~mode:Stm_intf.Regular in
+  Alcotest.(check bool) "regular mode aborts at least once" true (aborts >= 1);
+  Alcotest.(check (pair int int)) "retry converges" (9, 1) (a, d)
+
+let test_classic_aborts_on_prefix_conflict () =
+  List.iter
+    (fun (module S : Stm_intf.S) ->
+      let aborts, a, d = prefix_scenario (module S) ~mode:Stm_intf.Elastic in
+      Alcotest.(check bool)
+        (S.name ^ " treats elastic as regular and aborts")
+        true (aborts >= 1);
+      Alcotest.(check (pair int int)) (S.name ^ " retry converges") (9, 1) (a, d))
+    [ (module Classic_stm.Tl2); (module Classic_stm.Lsa);
+      (module Classic_stm.Swisstm) ]
+
+let test_elastic_aborts_on_window_conflict () =
+  (* The interference hits c, which is still inside the window when the
+     write happens: the elastic transaction must notice. *)
+  let module S = Oestm.Oe in
+  let a = S.tvar 0 and b = S.tvar 0 and c = S.tvar 0 and d = S.tvar 0 in
+  Stats.reset S.stats;
+  let fired = ref false in
+  let mark = once fired (fun () -> S.atomic (fun ctx -> S.write ctx c 9)) in
+  S.atomic ~mode:Stm_intf.Elastic (fun ctx ->
+      ignore (S.read ctx a);
+      ignore (S.read ctx b);
+      ignore (S.read ctx c);
+      mark ();
+      S.write ctx d (S.read ctx d + 1));
+  let aborts = (Stats.snapshot S.stats).Stats.aborts in
+  Alcotest.(check bool) "window conflict aborts" true (aborts >= 1);
+  Alcotest.(check int) "d committed exactly once" 1 (S.peek d)
+
+let test_elastic_write_conflict_detected () =
+  (* Read-modify-write races on a single tvar must serialise under elastic
+     mode too (this is how the counter tests pass; checked explicitly). *)
+  let module S = Oestm.Oe in
+  let x = S.tvar 0 in
+  Stats.reset S.stats;
+  let fired = ref false in
+  let mark =
+    once fired (fun () ->
+        S.atomic (fun ctx -> S.write ctx x (S.read ctx x + 10)))
+  in
+  S.atomic ~mode:Stm_intf.Elastic (fun ctx ->
+      let v = S.read ctx x in
+      mark ();
+      S.write ctx x (v + 1));
+  let aborts = (Stats.snapshot S.stats).Stats.aborts in
+  Alcotest.(check bool) "lost update prevented" true (aborts >= 1);
+  Alcotest.(check int) "both increments applied" 11 (S.peek x)
+
+(* ------------------------------------------------------------------ *)
+(* Recorded minimal protected sets (Section V)                         *)
+
+let pmin_of_recorded (module S : Stm_intf.S) ~body =
+  let events, ids =
+    Recorder.record (fun () ->
+        let out = ref [] in
+        let outcome, _ =
+          Schedsim.Sched.run
+            [ (fun () -> out := body ()) ]
+        in
+        assert (Schedsim.Sched.completed outcome);
+        !out)
+  in
+  let h = Histories.Convert.to_history events in
+  let tx =
+    match Histories.History.committed h with
+    | [ t ] -> t
+    | l -> Alcotest.failf "expected 1 committed tx, got %d" (List.length l)
+  in
+  (List.sort compare (Histories.History.pmin h tx), ids)
+
+let test_pmin_read_only_elastic () =
+  let module S = Oestm.Oe in
+  let a = S.tvar 0 and b = S.tvar 0 and c = S.tvar 0 in
+  let pmin, ids =
+    pmin_of_recorded (module S) ~body:(fun () ->
+        S.atomic ~mode:Stm_intf.Elastic (fun ctx ->
+            ignore (S.read ctx a);
+            ignore (S.read ctx b);
+            ignore (S.read ctx c));
+        [ S.tvar_id a; S.tvar_id b; S.tvar_id c ])
+  in
+  let expected =
+    match ids with [ _; ib; ic ] -> List.sort compare [ ib; ic ] | _ -> []
+  in
+  (* Pmin of a read-only elastic traversal is its sliding window — the last
+     two reads — not the whole read set. *)
+  Alcotest.(check (list int)) "Pmin = window = last two reads" expected pmin
+
+let test_pmin_update_elastic () =
+  let module S = Oestm.Oe in
+  let a = S.tvar 0 and b = S.tvar 0 and c = S.tvar 0 and d = S.tvar 0 in
+  let pmin, ids =
+    pmin_of_recorded (module S) ~body:(fun () ->
+        S.atomic ~mode:Stm_intf.Elastic (fun ctx ->
+            ignore (S.read ctx a);
+            ignore (S.read ctx b);
+            ignore (S.read ctx c);
+            S.write ctx d 1);
+        [ S.tvar_id a; S.tvar_id b; S.tvar_id c; S.tvar_id d ])
+  in
+  let expected =
+    match ids with
+    | [ _; ib; ic; id ] -> List.sort compare [ ib; ic; id ]
+    | _ -> []
+  in
+  (* Section V: Pmin = {r_k, ..., r_n} — the window at the first write (b
+     and c) plus every access from the write on (d); a is relaxed away. *)
+  Alcotest.(check (list int)) "Pmin = {b, c, d}" expected pmin
+
+let test_pmin_classic_covers_everything () =
+  let module S = Classic_stm.Tl2 in
+  let a = S.tvar 0 and b = S.tvar 0 and c = S.tvar 0 in
+  let pmin, ids =
+    pmin_of_recorded (module S) ~body:(fun () ->
+        S.atomic (fun ctx ->
+            ignore (S.read ctx a);
+            ignore (S.read ctx b);
+            S.write ctx c 1);
+        [ S.tvar_id a; S.tvar_id b; S.tvar_id c ])
+  in
+  Alcotest.(check (list int)) "classic Pmin = all accessed locations"
+    (List.sort compare ids) pmin
+
+(* ------------------------------------------------------------------ *)
+(* DSTM-style early release (Section II.A)                             *)
+
+let test_early_release_avoids_conflict () =
+  (* A regular-mode transaction reads a and b, releases a, and is then
+     interfered with on a: without the release it must abort (previous
+     tests); with it, it commits untouched. *)
+  let module S = Oestm.Oe in
+  let a = S.tvar 0 and b = S.tvar 0 and d = S.tvar 0 in
+  Stats.reset S.stats;
+  let fired = ref false in
+  let mark = once fired (fun () -> S.atomic (fun ctx -> S.write ctx a 9)) in
+  S.atomic ~mode:Stm_intf.Regular (fun ctx ->
+      ignore (S.read ctx a);
+      ignore (S.read ctx b);
+      S.release ctx a;
+      mark ();
+      S.write ctx d 1);
+  Alcotest.(check int) "no abort after early release" 0
+    (Stats.snapshot S.stats).Stats.aborts;
+  Alcotest.(check (pair int int)) "both committed" (9, 1) (S.peek a, S.peek d)
+
+let test_early_release_keeps_other_reads () =
+  (* Releasing a must not blunt conflict detection on b. *)
+  let module S = Oestm.Oe in
+  let a = S.tvar 0 and b = S.tvar 0 and d = S.tvar 0 in
+  Stats.reset S.stats;
+  let fired = ref false in
+  let mark = once fired (fun () -> S.atomic (fun ctx -> S.write ctx b 9)) in
+  S.atomic ~mode:Stm_intf.Regular (fun ctx ->
+      ignore (S.read ctx a);
+      ignore (S.read ctx b);
+      S.release ctx a;
+      mark ();
+      S.write ctx d (S.read ctx d + 1));
+  Alcotest.(check bool) "conflict on b still detected" true
+    ((Stats.snapshot S.stats).Stats.aborts >= 1);
+  Alcotest.(check int) "d committed once" 1 (S.peek d)
+
+let test_early_release_recorded_pmin () =
+  let module S = Oestm.Oe in
+  let a = S.tvar 0 and b = S.tvar 0 in
+  let pmin, ids =
+    pmin_of_recorded (module S) ~body:(fun () ->
+        S.atomic ~mode:Stm_intf.Regular (fun ctx ->
+            ignore (S.read ctx a);
+            ignore (S.read ctx b);
+            S.release ctx a);
+        [ S.tvar_id a; S.tvar_id b ])
+  in
+  match ids with
+  | [ ia; ib ] ->
+    Alcotest.(check bool) "released location left Pmin" false
+      (List.mem ia pmin);
+    Alcotest.(check bool) "other location still protected" true
+      (List.mem ib pmin)
+  | _ -> Alcotest.fail "unexpected ids"
+
+let suite =
+  [ Alcotest.test_case "elastic ignores prefix conflicts" `Quick
+      test_elastic_ignores_prefix_conflict;
+    Alcotest.test_case "regular aborts on prefix conflicts" `Quick
+      test_regular_aborts_on_prefix_conflict;
+    Alcotest.test_case "classics abort on prefix conflicts" `Quick
+      test_classic_aborts_on_prefix_conflict;
+    Alcotest.test_case "elastic aborts on window conflicts" `Quick
+      test_elastic_aborts_on_window_conflict;
+    Alcotest.test_case "elastic write conflicts detected" `Quick
+      test_elastic_write_conflict_detected;
+    Alcotest.test_case "Pmin: read-only elastic = window" `Quick
+      test_pmin_read_only_elastic;
+    Alcotest.test_case "Pmin: update elastic = {r_k..r_n}" `Quick
+      test_pmin_update_elastic;
+    Alcotest.test_case "Pmin: classic = everything" `Quick
+      test_pmin_classic_covers_everything;
+    Alcotest.test_case "early release avoids conflict" `Quick
+      test_early_release_avoids_conflict;
+    Alcotest.test_case "early release keeps other reads" `Quick
+      test_early_release_keeps_other_reads;
+    Alcotest.test_case "early release leaves Pmin" `Quick
+      test_early_release_recorded_pmin ]

@@ -1,0 +1,132 @@
+(* The benchmark harness: PRNG determinism, workload mix, figure wiring and
+   a miniature end-to-end sweep. *)
+
+let test_prng_deterministic () =
+  let a = Harness.Prng.create ~seed:1 and b = Harness.Prng.create ~seed:1 in
+  let xs = List.init 100 (fun _ -> Harness.Prng.next a) in
+  let ys = List.init 100 (fun _ -> Harness.Prng.next b) in
+  Alcotest.(check bool) "same seed, same stream" true (xs = ys);
+  let c = Harness.Prng.create ~seed:2 in
+  let zs = List.init 100 (fun _ -> Harness.Prng.next c) in
+  Alcotest.(check bool) "different seed, different stream" false (xs = zs)
+
+let test_prng_split_independent () =
+  let root = Harness.Prng.create ~seed:1 in
+  let s0 = Harness.Prng.split root ~index:0 in
+  let s1 = Harness.Prng.split root ~index:1 in
+  let xs = List.init 50 (fun _ -> Harness.Prng.next s0) in
+  let ys = List.init 50 (fun _ -> Harness.Prng.next s1) in
+  Alcotest.(check bool) "split streams differ" false (xs = ys)
+
+let prop_prng_bounds =
+  QCheck.Test.make ~name:"Prng.int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Harness.Prng.create ~seed in
+      List.for_all
+        (fun _ ->
+          let v = Harness.Prng.int rng bound in
+          v >= 0 && v < bound)
+        (List.init 50 Fun.id))
+
+let test_workload_mix () =
+  let cfg = Harness.Workload.paper ~size_exp:10 ~bulk_ratio:0.05 () in
+  let rng = Harness.Prng.create ~seed:3 in
+  let n = 100_000 in
+  let contains = ref 0 and single = ref 0 and bulk = ref 0 in
+  for _ = 1 to n do
+    match Harness.Workload.gen_op cfg rng with
+    | Harness.Workload.Contains _ -> incr contains
+    | Harness.Workload.Add _ | Harness.Workload.Remove _ -> incr single
+    | Harness.Workload.Add_all _ | Harness.Workload.Remove_all _ -> incr bulk
+  done;
+  let pct x = float_of_int x /. float_of_int n in
+  Alcotest.(check bool) "~80% contains" true
+    (abs_float (pct !contains -. 0.80) < 0.01);
+  Alcotest.(check bool) "~15% single updates" true
+    (abs_float (pct !single -. 0.15) < 0.01);
+  Alcotest.(check bool) "~5% bulk updates" true
+    (abs_float (pct !bulk -. 0.05) < 0.005)
+
+let test_workload_keys_in_range () =
+  let cfg = Harness.Workload.paper ~size_exp:8 ~bulk_ratio:0.15 () in
+  let range = Harness.Workload.key_range cfg in
+  Alcotest.(check int) "range = 2^(k+1)" 512 range;
+  Alcotest.(check int) "preload size = 2^k" 256
+    (List.length (Harness.Workload.initial_keys cfg));
+  let rng = Harness.Prng.create ~seed:9 in
+  for _ = 1 to 10_000 do
+    match Harness.Workload.gen_op cfg rng with
+    | Harness.Workload.Contains v | Harness.Workload.Add v
+    | Harness.Workload.Remove v ->
+      assert (v >= 0 && v < range)
+    | Harness.Workload.Add_all (a, b) | Harness.Workload.Remove_all (a, b) ->
+      assert (a >= 0 && a < range);
+      (* b is the closest integer to a/2, as in the paper *)
+      assert (b = (a + 1) / 2)
+  done
+
+let test_figure_wiring () =
+  Alcotest.(check bool) "6a is linked list" true
+    (Harness.Figures.structure_of Harness.Figures.F6a = Harness.Target.Linked_list);
+  Alcotest.(check bool) "7b is skip list" true
+    (Harness.Figures.structure_of Harness.Figures.F7b = Harness.Target.Skip_list);
+  Alcotest.(check (float 1e-9)) "8b bulk ratio" 0.15
+    (Harness.Figures.bulk_ratio_of Harness.Figures.F8b);
+  Alcotest.(check (float 1e-9)) "7a bulk ratio" 0.05
+    (Harness.Figures.bulk_ratio_of Harness.Figures.F7a);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "short name roundtrips" true
+        (Harness.Figures.of_string (Harness.Figures.short_name f) = Some f))
+    Harness.Figures.all
+
+let test_targets_run_every_op () =
+  (* Every (structure, STM) target must accept every op constructor. *)
+  let cfg = Harness.Workload.paper ~size_exp:6 ~bulk_ratio:0.15 () in
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun (module T : Harness.Target.TARGET) ->
+          T.setup cfg;
+          List.iter T.run_op
+            [ Harness.Workload.Contains 3; Harness.Workload.Add 4;
+              Harness.Workload.Remove 4; Harness.Workload.Add_all (10, 5);
+              Harness.Workload.Remove_all (10, 5) ])
+        (Harness.Target.series_for structure))
+    [ Harness.Target.Linked_list; Harness.Target.Skip_list;
+      Harness.Target.Hash_set { load_factor = 16 } ]
+
+let test_mini_sweep () =
+  (* End-to-end: a tiny sweep produces sane numbers. *)
+  let cfg = Harness.Workload.paper ~size_exp:6 ~bulk_ratio:0.05 () in
+  List.iter
+    (fun (module T : Harness.Target.TARGET) ->
+      let axis = if T.name = "Sequential" then [ 1 ] else [ 1; 2 ] in
+      let points =
+        Harness.Sweep.run_series (module T) ~cfg ~threads:axis ~duration:0.05
+          ~runs:1 ~seed:5
+      in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s@%d made progress" T.name p.Harness.Sweep.threads)
+            true
+            (p.Harness.Sweep.ops_per_ms > 0.0);
+          Alcotest.(check bool) "abort rate within [0,1]" true
+            (p.Harness.Sweep.abort_rate >= 0.0 && p.Harness.Sweep.abort_rate <= 1.0))
+        points)
+    (Harness.Target.series_for Harness.Target.Linked_list)
+
+let suite =
+  [ Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng split independence" `Quick
+      test_prng_split_independent;
+    QCheck_alcotest.to_alcotest prop_prng_bounds;
+    Alcotest.test_case "workload mix matches the paper" `Quick
+      test_workload_mix;
+    Alcotest.test_case "workload keys in range" `Quick
+      test_workload_keys_in_range;
+    Alcotest.test_case "figure wiring" `Quick test_figure_wiring;
+    Alcotest.test_case "targets run every op" `Quick test_targets_run_every_op;
+    Alcotest.test_case "mini sweep end-to-end" `Slow test_mini_sweep ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "composing_relaxed_transactions"
+    ([ ("vlock", Test_vlock.suite);
+       ("vec", Test_vec.suite);
+       ("rwsets", Test_rwsets.suite);
+       ("stats", Test_stats.suite);
+       ("theory", Test_theory.suite);
+       ("schedsim", Test_schedsim.suite);
+       ("composition", Test_composition.suite);
+       ("elastic", Test_elastic.suite);
+       ("convert", Test_convert.suite);
+       ("harness", Test_harness.suite);
+       ("boosting", Test_boosting.suite);
+       ("ablation", Test_ablation.suite);
+       ("theorems", Test_theorems.suite);
+       ("linearizability", Test_linearizability.suite);
+       ("viewstm", Test_viewstm.suite);
+       ("stm:View-STM", Test_viewstm.battery_suite) ]
+    @ Test_stm_semantics.suites @ Test_eec.suites @ Test_collections.suites)

@@ -1,0 +1,107 @@
+open Stm_core
+
+let test_wset_find_typed () =
+  let ws = Rwsets.Wset.create () in
+  let a = Tvar.make 1 in
+  let b = Tvar.make "hello" in
+  Alcotest.(check bool) "first write to a" true (Rwsets.Wset.add ws a 10);
+  Alcotest.(check bool) "first write to b" true (Rwsets.Wset.add ws b "x");
+  Alcotest.(check bool) "second write to a" false (Rwsets.Wset.add ws a 20);
+  Alcotest.(check (option int)) "a pending" (Some 20) (Rwsets.Wset.find ws a);
+  Alcotest.(check (option string)) "b pending" (Some "x") (Rwsets.Wset.find ws b);
+  let c = Tvar.make 0 in
+  Alcotest.(check (option int)) "c absent" None (Rwsets.Wset.find ws c);
+  Alcotest.(check int) "size counts distinct tvars" 2 (Rwsets.Wset.size ws)
+
+let test_lock_all_and_install () =
+  let ws = Rwsets.Wset.create () in
+  let a = Tvar.make 1 and b = Tvar.make 2 in
+  ignore (Rwsets.Wset.add ws a 10);
+  ignore (Rwsets.Wset.add ws b 20);
+  Alcotest.(check bool) "lock_all succeeds" true
+    (Rwsets.Wset.lock_all ws ~owner:1);
+  Rwsets.Wset.install_and_unlock ws ~wv:7;
+  Alcotest.(check int) "a installed" 10 (Tvar.peek a);
+  Alcotest.(check int) "b installed" 20 (Tvar.peek b);
+  Alcotest.(check int) "a version bumped" 7
+    (Vlock.version_of (Vlock.stamp a.Tvar.lock));
+  Alcotest.(check bool) "a unlocked" false
+    (Vlock.locked (Vlock.stamp a.Tvar.lock))
+
+let test_lock_all_fails_and_rolls_back () =
+  let ws = Rwsets.Wset.create () in
+  let a = Tvar.make 1 and b = Tvar.make 2 in
+  ignore (Rwsets.Wset.add ws a 10);
+  ignore (Rwsets.Wset.add ws b 20);
+  (* Another transaction holds b. *)
+  Alcotest.(check bool) "foreign lock" true (Vlock.try_lock b.Tvar.lock ~owner:99);
+  Alcotest.(check bool) "lock_all fails" false (Rwsets.Wset.lock_all ws ~owner:1);
+  Alcotest.(check bool) "a released again" false
+    (Vlock.locked (Vlock.stamp a.Tvar.lock));
+  Vlock.unlock_restore b.Tvar.lock;
+  Alcotest.(check bool) "lock_all succeeds after release" true
+    (Rwsets.Wset.lock_all ws ~owner:1);
+  Rwsets.Wset.unlock_all_restore ws;
+  Alcotest.(check int) "values untouched on rollback" 1 (Tvar.peek a)
+
+let test_rset_validate () =
+  let rs = Rwsets.Rset.create () in
+  let a = Tvar.make 1 in
+  let s, _ = Tvar.read_consistent a in
+  Vec.push rs { Rwsets.r_lock = a.Tvar.lock; r_seen = s; r_pe = Tvar.id a };
+  Alcotest.(check bool) "valid while unchanged" true
+    (Rwsets.Rset.validate rs ~owner:1);
+  (* Simulate a foreign commit. *)
+  ignore (Vlock.try_lock a.Tvar.lock ~owner:9);
+  Alcotest.(check bool) "invalid while foreign-locked" false
+    (Rwsets.Rset.validate rs ~owner:1);
+  Vlock.unlock_to a.Tvar.lock ~version:5;
+  Alcotest.(check bool) "invalid after version bump" false
+    (Rwsets.Rset.validate rs ~owner:1)
+
+let test_rset_validate_own_lock () =
+  let rs = Rwsets.Rset.create () in
+  let a = Tvar.make 1 in
+  let s, _ = Tvar.read_consistent a in
+  Vec.push rs { Rwsets.r_lock = a.Tvar.lock; r_seen = s; r_pe = Tvar.id a };
+  ignore (Vlock.try_lock a.Tvar.lock ~owner:1);
+  Alcotest.(check bool) "own write lock over read version is valid" true
+    (Rwsets.Rset.validate rs ~owner:1);
+  Vlock.unlock_restore a.Tvar.lock
+
+let test_read_consistent_aborts_on_lock () =
+  let a = Tvar.make 1 in
+  ignore (Vlock.try_lock a.Tvar.lock ~owner:3);
+  Alcotest.check_raises "locked read aborts"
+    (Control.Abort_tx Control.Read_locked) (fun () ->
+      ignore (Tvar.read_consistent a));
+  Vlock.unlock_restore a.Tvar.lock
+
+let prop_wset_last_write_wins =
+  QCheck.Test.make ~name:"wset: last write wins per tvar" ~count:200
+    QCheck.(list (pair (int_bound 9) small_int))
+    (fun writes ->
+      let tvs = Array.init 10 (fun _ -> Tvar.make (-1)) in
+      let ws = Rwsets.Wset.create () in
+      List.iter (fun (i, v) -> ignore (Rwsets.Wset.add ws tvs.(i) v)) writes;
+      List.for_all
+        (fun i ->
+          let expected =
+            List.fold_left
+              (fun acc (j, v) -> if i = j then Some v else acc)
+              None writes
+          in
+          Rwsets.Wset.find ws tvs.(i) = expected)
+        (List.init 10 Fun.id))
+
+let suite =
+  [ Alcotest.test_case "wset typed find" `Quick test_wset_find_typed;
+    Alcotest.test_case "lock_all + install" `Quick test_lock_all_and_install;
+    Alcotest.test_case "lock_all rollback" `Quick
+      test_lock_all_fails_and_rolls_back;
+    Alcotest.test_case "rset validate" `Quick test_rset_validate;
+    Alcotest.test_case "rset validate own lock" `Quick
+      test_rset_validate_own_lock;
+    Alcotest.test_case "read_consistent aborts on lock" `Quick
+      test_read_consistent_aborts_on_lock;
+    QCheck_alcotest.to_alcotest prop_wset_last_write_wins ]

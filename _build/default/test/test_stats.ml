@@ -1,0 +1,46 @@
+open Stm_core
+
+let test_counting () =
+  let s = Stats.create () in
+  Stats.record_commit s;
+  Stats.record_commit s;
+  Stats.record_abort s Control.Validation_failed;
+  Stats.record_abort s Control.Lock_contention;
+  Stats.record_abort s Control.Validation_failed;
+  let snap = Stats.snapshot s in
+  Alcotest.(check int) "commits" 2 snap.Stats.commits;
+  Alcotest.(check int) "aborts" 3 snap.Stats.aborts;
+  Alcotest.(check int) "validation aborts" 2
+    (List.assoc Control.Validation_failed snap.Stats.by_reason);
+  Alcotest.(check (float 1e-9)) "abort rate" 0.6 (Stats.abort_rate snap);
+  Stats.reset s;
+  let snap = Stats.snapshot s in
+  Alcotest.(check int) "commits after reset" 0 snap.Stats.commits;
+  Alcotest.(check (float 1e-9)) "rate on empty" 0.0 (Stats.abort_rate snap)
+
+let test_reason_index_bijective () =
+  let indices = List.map Control.reason_index Control.all_reasons in
+  Alcotest.(check int) "count" Control.reason_count (List.length indices);
+  Alcotest.(check (list int)) "indices are 0..n-1"
+    (List.init Control.reason_count Fun.id)
+    (List.sort compare indices)
+
+let test_parallel_counting () =
+  let s = Stats.create () in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Stats.record_commit s;
+              Stats.record_abort s Control.Read_locked
+            done))
+  in
+  List.iter Domain.join domains;
+  let snap = Stats.snapshot s in
+  Alcotest.(check int) "parallel commits" 4000 snap.Stats.commits;
+  Alcotest.(check int) "parallel aborts" 4000 snap.Stats.aborts
+
+let suite =
+  [ Alcotest.test_case "counting and rate" `Quick test_counting;
+    Alcotest.test_case "reason indexing" `Quick test_reason_index_bijective;
+    Alcotest.test_case "parallel counting" `Slow test_parallel_counting ]

@@ -1,0 +1,385 @@
+(* Tests of the executable theory (Sections II-IV), including the paper's
+   own examples:
+   - the relax-serializable-but-not-serializable history of Section II.B;
+   - the Fig. 3 history of Theorem 4.2 (outheritance holds, strong
+     composition fails, weak composition holds);
+   - a Fig. 1-style history (elastic insertIfAbsent without outheritance)
+     that violates both outheritance and weak composability. *)
+
+open Histories
+open Event
+
+let reg0 = Spec.register ~init:0
+
+let env_registers : Spec.env = fun _ -> reg0
+
+(* ------------------------------------------------------------------ *)
+(* Specifications                                                      *)
+
+let test_register_spec () =
+  let r = Event.op "read" and w v = Event.op ~arg:v "write" in
+  Alcotest.(check bool) "read initial" true (Spec.accepts reg0 [ (r, 0) ]);
+  Alcotest.(check bool) "read wrong initial" false (Spec.accepts reg0 [ (r, 1) ]);
+  Alcotest.(check bool) "write then read" true
+    (Spec.accepts reg0 [ (w 5, 5); (r, 5) ]);
+  Alcotest.(check bool) "stale read rejected" false
+    (Spec.accepts reg0 [ (w 5, 5); (r, 0) ])
+
+let test_counter_spec () =
+  let inc = Event.op "inc" in
+  Alcotest.(check bool) "1,2,3 accepted" true
+    (Spec.accepts Spec.counter [ (inc, 1); (inc, 2); (inc, 3) ]);
+  Alcotest.(check bool) "1,3,2 rejected" false
+    (Spec.accepts Spec.counter [ (inc, 1); (inc, 3); (inc, 2) ])
+
+let test_set_spec () =
+  let add x = Event.op ~arg:x "add"
+  and remove x = Event.op ~arg:x "remove"
+  and contains x = Event.op ~arg:x "contains" in
+  Alcotest.(check bool) "set behaviour" true
+    (Spec.accepts Spec.int_set
+       [ (add 1, 1); (add 1, 0); (contains 1, 1); (remove 1, 1);
+         (contains 1, 0); (remove 1, 0) ]);
+  Alcotest.(check bool) "wrong membership rejected" false
+    (Spec.accepts Spec.int_set [ (add 1, 1); (contains 1, 0) ])
+
+(* ------------------------------------------------------------------ *)
+(* History basics                                                      *)
+
+(* Two sequential transactions of one process. *)
+let simple_history =
+  History.of_list
+    [ Begin { tx = 1; proc = 1 };
+      Acquire { pe = 10; proc = 1 };
+      Op { obj = 10; tx = 1; op = op ~arg:5 "write"; value = 5 };
+      Commit { tx = 1; proc = 1 };
+      Release { pe = 10; proc = 1 };
+      Begin { tx = 2; proc = 1 };
+      Acquire { pe = 10; proc = 1 };
+      Op { obj = 10; tx = 2; op = op "read"; value = 5 };
+      Commit { tx = 2; proc = 1 };
+      Release { pe = 10; proc = 1 } ]
+
+let test_history_queries () =
+  let h = simple_history in
+  Alcotest.(check (list int)) "committed" [ 1; 2 ] (History.committed h);
+  Alcotest.(check (list int)) "live" [] (History.live h);
+  Alcotest.(check bool) "t1 <H t2" true (History.precedes h 1 2);
+  Alcotest.(check bool) "not t2 <H t1" false (History.precedes h 2 1);
+  Alcotest.(check bool) "not concurrent" false (History.concurrent h 1 2);
+  Alcotest.(check bool) "sequential" true (History.sequential h);
+  Alcotest.(check bool) "well-formed" true
+    (Result.is_ok (History.well_formed h));
+  Alcotest.(check bool) "relax-serial" true (History.relax_serial h);
+  Alcotest.(check bool) "legal" true (History.legal ~env:env_registers h);
+  (* Classic transactions release only after commit, so the accessed
+     location is in the minimal protected set. *)
+  Alcotest.(check (list int)) "pmin t1 = {l10}" [ 10 ] (History.pmin h 1)
+
+let test_pmin () =
+  (* pe 7 stays held across the commit: it is in Pmin; pe 8 is released
+     before the commit: it is not. *)
+  let h =
+    History.of_list
+      [ Begin { tx = 1; proc = 1 };
+        Acquire { pe = 8; proc = 1 };
+        Op { obj = 8; tx = 1; op = op "read"; value = 0 };
+        Acquire { pe = 7; proc = 1 };
+        Op { obj = 7; tx = 1; op = op "read"; value = 0 };
+        Release { pe = 8; proc = 1 };
+        Commit { tx = 1; proc = 1 };
+        Release { pe = 7; proc = 1 } ]
+  in
+  Alcotest.(check (list int)) "pmin" [ 7 ] (History.pmin h 1);
+  Alcotest.(check (list int)) "kernel" [ 7 ] (History.kernel h 1)
+
+let test_well_formed_rejects () =
+  let bad =
+    History.of_list
+      [ Begin { tx = 1; proc = 1 }; Commit { tx = 2; proc = 1 } ]
+  in
+  Alcotest.(check bool) "commit without begin rejected" true
+    (Result.is_error (History.well_formed bad));
+  let dup =
+    History.of_list [ Begin { tx = 1; proc = 1 }; Begin { tx = 1; proc = 1 } ]
+  in
+  Alcotest.(check bool) "duplicate begin rejected" true
+    (Result.is_error (History.well_formed dup))
+
+(* ------------------------------------------------------------------ *)
+(* The Section II.B example: relax-serializable but not serializable   *)
+
+let section2b_history =
+  (* Objects/pes: 1, 2, 3.  t1@p1, t2@p2.  Values chosen so that register
+     legality forces t1 < t2 on o1 and t2 < t1 on o3 — the cycle of the
+     paper. *)
+  History.of_list
+    [ Begin { tx = 1; proc = 1 };
+      Acquire { pe = 1; proc = 1 };
+      Op { obj = 1; tx = 1; op = op "read"; value = 0 };
+      Acquire { pe = 2; proc = 1 };
+      Op { obj = 2; tx = 1; op = op "read"; value = 0 };
+      Release { pe = 1; proc = 1 };
+      Begin { tx = 2; proc = 2 };
+      Acquire { pe = 1; proc = 2 };
+      Op { obj = 1; tx = 2; op = op ~arg:5 "write"; value = 5 };
+      Acquire { pe = 3; proc = 2 };
+      Op { obj = 3; tx = 2; op = op "read"; value = 0 };
+      Commit { tx = 2; proc = 2 };
+      Release { pe = 1; proc = 2 };
+      Release { pe = 3; proc = 2 };
+      Acquire { pe = 3; proc = 1 };
+      Op { obj = 3; tx = 1; op = op ~arg:7 "write"; value = 7 };
+      Commit { tx = 1; proc = 1 };
+      Release { pe = 2; proc = 1 };
+      Release { pe = 3; proc = 1 } ]
+
+let test_section2b () =
+  let h = section2b_history in
+  Alcotest.(check bool) "well-formed" true
+    (Result.is_ok (History.well_formed h));
+  Alcotest.(check bool) "itself relax-serial" true (History.relax_serial h);
+  Alcotest.(check bool) "not serializable" false
+    (Serializability.serializable ~env:env_registers h);
+  Alcotest.(check bool) "relax-serializable" true
+    (Serializability.relax_serializable ~env:env_registers h
+    = Search.Witness_found)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3 — Theorem 4.2                                                *)
+
+(* Objects: x = register (obj 1, pe 1), c = counter (obj 2, pe 2).
+   t1, t3 executed by p1; t2 by p2; C = {t1, t3}. *)
+let fig3_history =
+  History.of_list
+    [ Begin { tx = 1; proc = 1 };
+      Acquire { pe = 1; proc = 1 };
+      Op { obj = 1; tx = 1; op = op ~arg:2 "write"; value = 2 };
+      Commit { tx = 1; proc = 1 };
+      Begin { tx = 3; proc = 1 };
+      Acquire { pe = 2; proc = 1 };
+      Op { obj = 2; tx = 3; op = op "inc"; value = 1 };
+      Release { pe = 2; proc = 1 };
+      Begin { tx = 2; proc = 2 };
+      Acquire { pe = 2; proc = 2 };
+      Op { obj = 2; tx = 2; op = op "inc"; value = 2 };
+      Commit { tx = 2; proc = 2 };
+      Release { pe = 2; proc = 2 };
+      Acquire { pe = 2; proc = 1 };
+      Op { obj = 2; tx = 3; op = op "inc"; value = 3 };
+      Release { pe = 2; proc = 1 };
+      Op { obj = 1; tx = 3; op = op "read"; value = 2 };
+      Commit { tx = 3; proc = 1 };
+      Release { pe = 1; proc = 1 } ]
+
+let fig3_env : Spec.env =
+ fun obj -> if obj = 2 then Spec.counter else reg0
+
+let test_fig3 () =
+  let h = fig3_history in
+  Alcotest.(check bool) "well-formed" true
+    (Result.is_ok (History.well_formed h));
+  let c = Composition.make_exn h [ 1; 3 ] in
+  Alcotest.(check int) "sup is t3" 3 (Composition.sup c);
+  Alcotest.(check (list int)) "Pmin(t1) = {l1}" [ 1 ] (History.pmin h 1);
+  Alcotest.(check (list int)) "Pmin(t3) empty" [] (History.pmin h 3);
+  Alcotest.(check bool) "satisfies outheritance" true
+    (Outheritance.satisfies h c);
+  Alcotest.(check bool) "relax-serializable" true
+    (Serializability.relax_serializable ~env:fig3_env h = Search.Witness_found);
+  Alcotest.(check bool) "not serializable" false
+    (Serializability.serializable ~env:fig3_env h);
+  Alcotest.(check bool) "NOT strongly composable (Thm 4.2)" true
+    (Composition.strongly_composable ~env:fig3_env h c = Search.No_witness);
+  Alcotest.(check bool) "weakly composable (Thm 4.4)" true
+    (Composition.weakly_composable ~env:fig3_env h c = Search.Witness_found)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1 — composing elastic transactions without outheritance        *)
+
+(* insertIfAbsent(x, y) composed from t1 = contains(y) and t3 = insert(x);
+   a concurrent t4 inserts y between the two.  Object 5 is the node where
+   y would live, object 6 the node for x.  Without outheritance t1's
+   protection of node 5 ends right after its commit — the history violates
+   outheritance and is not weakly composable. *)
+let fig1_broken_history =
+  History.of_list
+    [ Begin { tx = 1; proc = 1 };
+      Acquire { pe = 5; proc = 1 };
+      Op { obj = 5; tx = 1; op = op "read"; value = 0 };
+      Commit { tx = 1; proc = 1 };
+      Release { pe = 5; proc = 1 };
+      Begin { tx = 4; proc = 2 };
+      Acquire { pe = 5; proc = 2 };
+      Op { obj = 5; tx = 4; op = op ~arg:9 "write"; value = 9 };
+      Commit { tx = 4; proc = 2 };
+      Release { pe = 5; proc = 2 };
+      Begin { tx = 3; proc = 1 };
+      Acquire { pe = 6; proc = 1 };
+      Op { obj = 6; tx = 3; op = op ~arg:7 "write"; value = 7 };
+      Commit { tx = 3; proc = 1 };
+      Release { pe = 6; proc = 1 } ]
+
+let test_fig1_broken () =
+  let h = fig1_broken_history in
+  let c = Composition.make_exn h [ 1; 3 ] in
+  Alcotest.(check (list int)) "Pmin(t1) = {l5}" [ 5 ] (History.pmin h 1);
+  Alcotest.(check bool) "outheritance violated" false
+    (Outheritance.satisfies h c);
+  Alcotest.(check int) "exactly one violation" 1
+    (List.length (Outheritance.violations h c));
+  Alcotest.(check bool) "NOT weakly composable (Thm 4.3 direction)" true
+    (Composition.weakly_composable ~env:env_registers h c = Search.No_witness);
+  (* The history itself is still perfectly relax-serializable — the
+     composition, not the individual transactions, is what breaks. *)
+  Alcotest.(check bool) "relax-serializable" true
+    (Serializability.relax_serializable ~env:env_registers h
+    = Search.Witness_found)
+
+(* The OE-STM version of the same scenario: the concurrent insert of y is
+   delayed until after the whole composition (the conflict would have been
+   detected), and t1's protection element is released only after t3
+   commits.  Outheritance holds and the composition is weakly composable. *)
+let fig1_outherit_history =
+  History.of_list
+    [ Begin { tx = 1; proc = 1 };
+      Acquire { pe = 5; proc = 1 };
+      Op { obj = 5; tx = 1; op = op "read"; value = 0 };
+      Commit { tx = 1; proc = 1 };
+      Begin { tx = 3; proc = 1 };
+      Acquire { pe = 6; proc = 1 };
+      Op { obj = 6; tx = 3; op = op ~arg:7 "write"; value = 7 };
+      Commit { tx = 3; proc = 1 };
+      Release { pe = 5; proc = 1 };
+      Release { pe = 6; proc = 1 };
+      Begin { tx = 4; proc = 2 };
+      Acquire { pe = 5; proc = 2 };
+      Op { obj = 5; tx = 4; op = op ~arg:9 "write"; value = 9 };
+      Commit { tx = 4; proc = 2 };
+      Release { pe = 5; proc = 2 } ]
+
+let test_fig1_outherit () =
+  let h = fig1_outherit_history in
+  let c = Composition.make_exn h [ 1; 3 ] in
+  Alcotest.(check bool) "outheritance holds" true (Outheritance.satisfies h c);
+  Alcotest.(check bool) "weakly composable" true
+    (Composition.weakly_composable ~env:env_registers h c
+    = Search.Witness_found);
+  Alcotest.(check bool) "strongly composable too" true
+    (Composition.strongly_composable ~env:env_registers h c
+    = Search.Witness_found)
+
+(* ------------------------------------------------------------------ *)
+(* Composition validation                                              *)
+
+let test_composition_validation () =
+  let h = fig3_history in
+  Alcotest.(check bool) "singleton rejected" true
+    (Result.is_error (Composition.make h [ 1 ]));
+  Alcotest.(check bool) "cross-process rejected" true
+    (Result.is_error (Composition.make h [ 1; 2 ]));
+  Alcotest.(check bool) "valid pair accepted" true
+    (Result.is_ok (Composition.make h [ 1; 3 ]))
+
+let test_serializable_positive () =
+  Alcotest.(check bool) "simple history serializable" true
+    (Serializability.serializable ~env:env_registers simple_history)
+
+(* ------------------------------------------------------------------ *)
+(* The search engine itself                                            *)
+
+let test_search_rejects_incomplete () =
+  let live_history = History.of_list [ Begin { tx = 1; proc = 1 } ] in
+  Alcotest.check_raises "live transactions rejected"
+    (Invalid_argument "Search.prepare: history has live transactions")
+    (fun () -> ignore (Search.prepare live_history))
+
+let test_search_budget () =
+  (* A tiny budget must yield Unknown, not a wrong verdict. *)
+  Alcotest.(check bool) "budget exhaustion reported" true
+    (Serializability.relax_serializable ~budget:1 ~env:env_registers
+       section2b_history
+    = Search.Unknown)
+
+let test_search_coords () =
+  let prepared = Search.prepare simple_history in
+  let commit1 =
+    Search.find_coord prepared (function
+      | Commit { tx = 1; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check bool) "commit of t1 found" true (commit1 <> None);
+  (match commit1 with
+  | Some coord ->
+    Alcotest.(check bool) "not consumed at start" false
+      (Search.consumed ~positions:[| 0 |] coord);
+    Alcotest.(check bool) "consumed after the whole sequence" true
+      (Search.consumed ~positions:[| History.length simple_history |] coord)
+  | None -> ());
+  Alcotest.(check bool) "find_last_coord finds something" true
+    (Search.find_last_coord prepared (function Release _ -> true | _ -> false)
+    <> None)
+
+let test_illegal_history_has_no_witness () =
+  (* A read returning a value never written can have no legal witness. *)
+  let h =
+    History.of_list
+      [ Begin { tx = 1; proc = 1 };
+        Acquire { pe = 1; proc = 1 };
+        Op { obj = 1; tx = 1; op = op "read"; value = 77 };
+        Commit { tx = 1; proc = 1 };
+        Release { pe = 1; proc = 1 } ]
+  in
+  Alcotest.(check bool) "no witness for an illegal read" true
+    (Serializability.relax_serializable ~env:env_registers h
+    = Search.No_witness);
+  Alcotest.(check bool) "not serializable either" false
+    (Serializability.serializable ~env:env_registers h)
+
+let test_pe_overlap_needs_reordering () =
+  (* Two processes hold the same protection element at once in H; a
+     witness must serialise the holds — possible here, so the history is
+     relax-serializable even though it is not relax-serial itself. *)
+  let h =
+    History.of_list
+      [ Begin { tx = 1; proc = 1 };
+        Acquire { pe = 1; proc = 1 };
+        Begin { tx = 2; proc = 2 };
+        Acquire { pe = 1; proc = 2 };
+        Op { obj = 1; tx = 1; op = op "read"; value = 0 };
+        Op { obj = 1; tx = 2; op = op "read"; value = 0 };
+        Commit { tx = 1; proc = 1 };
+        Release { pe = 1; proc = 1 };
+        Commit { tx = 2; proc = 2 };
+        Release { pe = 1; proc = 2 } ]
+  in
+  Alcotest.(check bool) "overlapping holds as recorded" false
+    (History.relax_serial h);
+  Alcotest.(check bool) "still relax-serializable via reordering" true
+    (Serializability.relax_serializable ~env:env_registers h
+    = Search.Witness_found)
+
+let suite =
+  [ Alcotest.test_case "register spec" `Quick test_register_spec;
+    Alcotest.test_case "counter spec" `Quick test_counter_spec;
+    Alcotest.test_case "set spec" `Quick test_set_spec;
+    Alcotest.test_case "history queries" `Quick test_history_queries;
+    Alcotest.test_case "pmin / kernel" `Quick test_pmin;
+    Alcotest.test_case "well-formedness rejections" `Quick
+      test_well_formed_rejects;
+    Alcotest.test_case "serializable (positive)" `Quick
+      test_serializable_positive;
+    Alcotest.test_case "Section II.B example" `Quick test_section2b;
+    Alcotest.test_case "Fig. 3 / Theorem 4.2" `Quick test_fig3;
+    Alcotest.test_case "Fig. 1 broken composition" `Quick test_fig1_broken;
+    Alcotest.test_case "Fig. 1 with outheritance" `Quick test_fig1_outherit;
+    Alcotest.test_case "composition validation" `Quick
+      test_composition_validation;
+    Alcotest.test_case "search rejects incomplete histories" `Quick
+      test_search_rejects_incomplete;
+    Alcotest.test_case "search budget exhaustion" `Quick test_search_budget;
+    Alcotest.test_case "search coordinates" `Quick test_search_coords;
+    Alcotest.test_case "illegal history has no witness" `Quick
+      test_illegal_history_has_no_witness;
+    Alcotest.test_case "overlapping holds need reordering" `Quick
+      test_pe_overlap_needs_reordering ]

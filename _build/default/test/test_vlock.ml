@@ -1,0 +1,83 @@
+open Stm_core
+
+let test_fresh_unlocked () =
+  let l = Vlock.create () in
+  let s = Vlock.stamp l in
+  Alcotest.(check bool) "fresh lock is unlocked" false (Vlock.locked s);
+  Alcotest.(check int) "fresh lock is at version 0" 0 (Vlock.version_of s)
+
+let test_lock_unlock_to () =
+  let l = Vlock.create () in
+  Alcotest.(check bool) "try_lock succeeds" true (Vlock.try_lock l ~owner:7);
+  let s = Vlock.stamp l in
+  Alcotest.(check bool) "locked after try_lock" true (Vlock.locked s);
+  Alcotest.(check int) "locked stamp keeps version" 0 (Vlock.version_of s);
+  Alcotest.(check int) "owner recorded" 7 (Vlock.owner l);
+  Alcotest.(check bool) "locked_by owner" true (Vlock.locked_by l ~owner:7);
+  Alcotest.(check bool) "not locked_by other" false (Vlock.locked_by l ~owner:8);
+  Alcotest.(check bool) "second try_lock fails" false (Vlock.try_lock l ~owner:9);
+  Vlock.unlock_to l ~version:42;
+  let s = Vlock.stamp l in
+  Alcotest.(check bool) "unlocked after unlock_to" false (Vlock.locked s);
+  Alcotest.(check int) "new version published" 42 (Vlock.version_of s)
+
+let test_unlock_restore () =
+  let l = Vlock.create () in
+  Vlock.unlock_to l ~version:5;
+  Alcotest.(check bool) "lock at v5" true (Vlock.try_lock l ~owner:1);
+  Vlock.unlock_restore l;
+  let s = Vlock.stamp l in
+  Alcotest.(check bool) "unlocked after restore" false (Vlock.locked s);
+  Alcotest.(check int) "version restored" 5 (Vlock.version_of s)
+
+let test_locked_by_after_restore () =
+  let l = Vlock.create () in
+  ignore (Vlock.try_lock l ~owner:3);
+  Vlock.unlock_restore l;
+  Alcotest.(check bool) "not locked_by after release" false
+    (Vlock.locked_by l ~owner:3)
+
+let prop_stamp_roundtrip =
+  QCheck.Test.make ~name:"version survives lock/unlock cycles" ~count:200
+    QCheck.(small_nat)
+    (fun v ->
+      let l = Vlock.create () in
+      Vlock.unlock_to l ~version:v;
+      let ok1 = Vlock.version_of (Vlock.stamp l) = v in
+      let ok2 = Vlock.try_lock l ~owner:0 in
+      let ok3 = Vlock.version_of (Vlock.stamp l) = v in
+      Vlock.unlock_to l ~version:(v + 1);
+      ok1 && ok2 && ok3 && Vlock.version_of (Vlock.stamp l) = v + 1)
+
+let test_parallel_mutual_exclusion () =
+  (* Domains contend on one lock; the protected counter must not lose
+     increments. *)
+  let l = Vlock.create () in
+  let counter = ref 0 in
+  let per_domain = 1000 in
+  let work () =
+    for _ = 1 to per_domain do
+      let rec acquire () =
+        if not (Vlock.try_lock l ~owner:(Domain.self () :> int)) then begin
+          Domain.cpu_relax ();
+          acquire ()
+        end
+      in
+      acquire ();
+      incr counter;
+      Vlock.unlock_to l ~version:(Vlock.version_of (Vlock.stamp l) + 1)
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn work) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" (4 * per_domain) !counter
+
+let suite =
+  [ Alcotest.test_case "fresh unlocked" `Quick test_fresh_unlocked;
+    Alcotest.test_case "lock / unlock_to" `Quick test_lock_unlock_to;
+    Alcotest.test_case "unlock_restore" `Quick test_unlock_restore;
+    Alcotest.test_case "locked_by after restore" `Quick
+      test_locked_by_after_restore;
+    QCheck_alcotest.to_alcotest prop_stamp_roundtrip;
+    Alcotest.test_case "parallel mutual exclusion" `Slow
+      test_parallel_mutual_exclusion ]
