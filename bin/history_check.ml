@@ -85,18 +85,23 @@ let analyse h =
       | _ -> ())
     (History.procs h)
 
-let main stm_name explore =
-  match stm_of_string stm_name with
-  | Error e ->
+let mode_of_string = function
+  | "dpor" -> Ok `Dpor
+  | "naive" -> Ok `Naive
+  | s -> Error (Printf.sprintf "unknown mode %S (dpor naive)" s)
+
+let main stm_name explore mode_name =
+  match (stm_of_string stm_name, mode_of_string mode_name) with
+  | Error e, _ | _, Error e ->
     prerr_endline e;
     2
-  | Ok (module S : Stm_intf.S) ->
+  | Ok (module S : Stm_intf.S), Ok mode ->
     Printf.printf "STM: %s\n" S.name;
     let schedule =
       if explore then begin
         let holds = ref (fun () -> false) in
         match
-          Schedsim.Explore.explore ~max_runs:10_000
+          Schedsim.Explore.explore ~mode ~max_runs:10_000
             { Schedsim.Explore.procs =
                 (fun () ->
                   let procs, both = scenario (module S) in
@@ -104,17 +109,19 @@ let main stm_name explore =
                   procs);
               check = (fun _ -> not (!holds ())) }
         with
-        | Schedsim.Explore.Violation { schedule; explored } ->
+        | Schedsim.Explore.Violation { schedule; explored; pruned } ->
           Printf.printf
             "explorer: atomicity violation (both inserted) after %d \
-             interleavings\n"
-            explored;
+             interleavings (%d pruned)\n"
+            explored pruned;
           schedule
-        | Schedsim.Explore.All_ok { explored } ->
-          Printf.printf "explorer: all %d interleavings atomic\n" explored;
+        | Schedsim.Explore.All_ok { explored; pruned } ->
+          Printf.printf "explorer: all %d interleavings atomic (%d pruned)\n"
+            explored pruned;
           []
-        | Schedsim.Explore.Out_of_budget { explored } ->
-          Printf.printf "explorer: no violation in %d interleavings\n" explored;
+        | Schedsim.Explore.Out_of_budget { explored; pruned } ->
+          Printf.printf "explorer: no violation in %d interleavings (%d pruned)\n"
+            explored pruned;
           []
       end
       else []
@@ -139,9 +146,14 @@ let cmd =
            ~doc:"First search all interleavings for an atomicity violation \
                  and replay the violating schedule if one exists.")
   in
+  let mode =
+    Arg.(value & opt string "dpor" & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Exploration mode: dpor (partial-order reduction, default) \
+                 or naive (full schedule tree).")
+  in
   Cmd.v
     (Cmd.info "history_check"
        ~doc:"Record the Fig. 1 composition scenario and run the theory checkers on it")
-    Term.(const main $ stm $ explore)
+    Term.(const main $ stm $ explore $ mode)
 
 let () = exit (Cmd.eval' cmd)

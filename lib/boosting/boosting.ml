@@ -42,10 +42,12 @@ module Abstract_lock = struct
   let id t = t.id
 
   let try_acquire t ~owner =
+    if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.id);
     Atomic.get t.holder = owner
     || Atomic.compare_and_set t.holder (-1) owner
 
   let release t ~owner =
+    if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.id);
     ignore (Atomic.compare_and_set t.holder owner (-1))
 
   let held_by t = Atomic.get t.holder
@@ -75,7 +77,7 @@ let in_transaction () = Option.is_some (Domain.DLS.get current)
 let acquire tx lock =
   let patience = 1_000 in
   let rec go n =
-    Runtime.schedule_point ();
+    Runtime.schedule_point_on (Runtime.Lock (Abstract_lock.id lock));
     if Abstract_lock.try_acquire lock ~owner:tx.root_id then begin
       if
         not

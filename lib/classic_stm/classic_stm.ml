@@ -74,7 +74,7 @@ module Make (P : POLICY) : Stm_intf.S = struct
 
   let read : type a. ctx -> a tvar -> a =
    fun ctx tv ->
-    Runtime.schedule_point ();
+    Runtime.schedule_point_on (Runtime.Read (Tvar.id tv));
     match Rwsets.Wset.find ctx.wset tv with
     | Some v ->
       Txrec.read ctx.rec_state ~tx:ctx.cur_tx ~pe:(Tvar.id tv)
@@ -113,7 +113,7 @@ module Make (P : POLICY) : Stm_intf.S = struct
 
   let write : type a. ctx -> a tvar -> a -> unit =
    fun ctx tv v ->
-    Runtime.schedule_point ();
+    Runtime.schedule_point_on (Runtime.Write (Tvar.id tv));
     let pe = Tvar.id tv in
     let first = Rwsets.Wset.add ctx.wset tv v in
     if first then begin

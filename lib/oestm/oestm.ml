@@ -140,7 +140,7 @@ module Make (C : CONFIG) : S_EXT = struct
 
   let read : type a. ctx -> a tvar -> a =
    fun ctx tv ->
-    Runtime.schedule_point ();
+    Runtime.schedule_point_on (Runtime.Read (Tvar.id tv));
     match Rwsets.Wset.find ctx.root.wset tv with
     | Some v ->
       Txrec.read ctx.root.rec_state ~tx:ctx.tx_id ~pe:(Tvar.id tv)
@@ -183,7 +183,7 @@ module Make (C : CONFIG) : S_EXT = struct
 
   let write : type a. ctx -> a tvar -> a -> unit =
    fun ctx tv v ->
-    Runtime.schedule_point ();
+    Runtime.schedule_point_on (Runtime.Write (Tvar.id tv));
     let pe = Tvar.id tv in
     if not ctx.written then begin
       ctx.written <- true;

@@ -2,13 +2,26 @@
     checking).
 
     A scenario is rebuilt from scratch for every schedule (fresh tvars,
-    fresh processes), executed under {!Sched.run_schedule}, and judged by
-    its [check] function.  The explorer enumerates the schedule tree
-    depth-first: every scheduling decision with k ready processes is a
-    k-way branch point.  This is how the repository demonstrates that
+    fresh processes), executed under the deterministic scheduler, and judged
+    by its [check] function.  This is how the repository demonstrates that
     elastic transactions composed {e without} outheritance admit an
     atomicity violation in {e some} interleaving (Fig. 1), while OE-STM
-    admits none in {e any}. *)
+    admits none in {e any}.
+
+    Two modes share one entry point:
+
+    - [`Dpor] (default) — dynamic partial-order reduction in the style of
+      Flanagan & Godefroid (POPL 2005) with sleep sets.  Steps are grouped
+      into Mazurkiewicz traces by the {!Dep} commutativity relation over the
+      access footprints recorded at every scheduling point; only one
+      representative schedule per trace is executed, races discovered along
+      each run seed backtracking points, and sleep sets prevent re-exploring
+      commuted prefixes.  Verdicts are identical to naive mode — an
+      [All_ok] still means {e every} interleaving (up to commutation of
+      independent steps) satisfies [check].
+    - [`Naive] — enumerate the full schedule tree depth-first.  Kept as the
+      reference oracle: the differential test suite runs both modes on the
+      same scenarios and asserts equal verdicts. *)
 
 type scenario = {
   procs : unit -> (unit -> unit) list;
@@ -20,17 +33,25 @@ type scenario = {
 }
 
 type result =
-  | All_ok of { explored : int }
-      (** every explored schedule satisfied [check] *)
-  | Violation of { schedule : int list; explored : int }
+  | All_ok of { explored : int; pruned : int }
+      (** every explored schedule satisfied [check].  [explored] counts
+          executed runs; [pruned] counts scheduling branch points skipped
+          as redundant (always 0 in naive/sample modes). *)
+  | Violation of { schedule : int list; explored : int; pruned : int }
       (** [schedule] (choice indices into the ready list at each step)
           reproduces the violation via {!Sched.run_schedule} *)
-  | Out_of_budget of { explored : int }
+  | Out_of_budget of { explored : int; pruned : int }
       (** bound reached before exhausting the tree; no violation found *)
 
 val explore :
-  ?max_runs:int -> ?max_steps:int -> ?retry_cap:int -> scenario -> result
-(** @param max_runs   bound on the number of schedules (default 20_000)
+  ?mode:[ `Dpor | `Naive ] ->
+  ?max_runs:int ->
+  ?max_steps:int ->
+  ?retry_cap:int ->
+  scenario ->
+  result
+(** @param mode       [`Dpor] (default) or the exhaustive [`Naive] oracle
+    @param max_runs   bound on the number of schedules (default 20_000)
     @param max_steps  per-run scheduling-point bound (default 20_000)
     @param retry_cap  transaction retry bound during exploration, to turn
                       livelocks into {!Stm_core.Control.Starvation} failures

@@ -1,6 +1,6 @@
 open Stm_core
 
-type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Yield : Runtime.access -> unit Effect.t
 
 exception Killed_by_scheduler
 
@@ -15,6 +15,17 @@ let completed o = o.failures = [] && o.killed = []
 type choice = {
   ready : int list;
   chosen : int;
+  accesses : Runtime.access list;
+}
+
+type guidance = [ `Go of int | `Cut ]
+
+(* Mutable per-step record: accesses accumulate while the step runs and are
+   flushed when the next decision is taken (or the run ends). *)
+type step_rec = {
+  s_ready : int list;
+  s_chosen : int;
+  mutable s_acc : Runtime.access list;
 }
 
 type proc_state = {
@@ -24,6 +35,9 @@ type proc_state = {
   mutable tls : Obj.t array;
   mutable finished : bool;
   mutable failure : exn option;
+  mutable pending : Runtime.access;
+      (* annotation carried by the yield that suspended this process; it
+         seeds the footprint of the process's next step *)
 }
 
 let handler st =
@@ -35,10 +49,11 @@ let handler st =
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
-        | Yield ->
+        | Yield a ->
           Some
             (fun (k : (a, unit) Effect.Deep.continuation) ->
               st.cont <- Some k;
+              st.pending <- a;
               st.tls <- Runtime.save_all_tls ())
         | _ -> None) }
 
@@ -61,17 +76,13 @@ let kill st =
     try Effect.Deep.discontinue k Killed_by_scheduler
     with _ -> ())
 
-let run ?(max_steps = 100_000) ?pick procs =
-  let pick =
-    match pick with
-    | Some f -> f
-    | None -> fun ~step ~ready -> step mod List.length ready
-  in
+let run_guided ?(max_steps = 100_000) ~guide procs =
   let states =
     List.mapi
       (fun index thunk ->
         { index; thunk = Some thunk; cont = None;
-          tls = Runtime.save_all_tls (); finished = false; failure = None })
+          tls = Runtime.save_all_tls (); finished = false; failure = None;
+          pending = Runtime.Pure })
       procs
     |> Array.of_list
   in
@@ -79,21 +90,46 @@ let run ?(max_steps = 100_000) ?pick procs =
   let saved_yield = !Runtime.yield_hook in
   let saved_proc = !Runtime.proc_hook in
   let saved_simulated = !Runtime.simulated in
+  let saved_tracing = !Runtime.tracing in
+  let saved_trace_hook = !Runtime.trace_hook in
   let outer_tls = Runtime.save_all_tls () in
+  let acc = ref [] in
   Runtime.simulated := true;
-  Runtime.yield_hook := (fun () -> Effect.perform Yield);
+  Runtime.reset_sim_ids ();
+  Runtime.tracing := true;
+  Runtime.trace_hook := (fun a -> acc := a :: !acc);
+  Runtime.yield_hook := (fun a -> Effect.perform (Yield a));
   (Runtime.proc_hook :=
      fun () -> if !current >= 0 then !current else saved_proc ());
   let restore_environment () =
     Runtime.yield_hook := saved_yield;
     Runtime.proc_hook := saved_proc;
     Runtime.simulated := saved_simulated;
+    Runtime.tracing := saved_tracing;
+    Runtime.trace_hook := saved_trace_hook;
     Runtime.restore_all_tls outer_tls;
     current := -1
   in
   let trace = ref [] in
   let steps = ref 0 in
   let killed = ref [] in
+  (* Attribute the accesses accumulated since the last decision to the step
+     that performed them.  Appends, so accesses traced while killing
+     processes (unwind handlers) also land on the last executed step. *)
+  let flush_step () =
+    (match !trace with
+    | [] -> ()
+    | r :: _ -> r.s_acc <- r.s_acc @ List.rev !acc);
+    acc := []
+  in
+  let kill_ready ready =
+    List.iter
+      (fun i ->
+        kill states.(i);
+        states.(i).finished <- true;
+        killed := i :: !killed)
+      ready
+  in
   (try
      let rec loop () =
        let ready =
@@ -101,26 +137,32 @@ let run ?(max_steps = 100_000) ?pick procs =
          |> List.filter_map (fun st ->
                 if st.finished then None else Some st.index)
        in
-       if ready <> [] then
-         if !steps >= max_steps then begin
-           List.iter
-             (fun i ->
-               kill states.(i);
-               states.(i).finished <- true;
-               killed := i :: !killed)
-             ready
-         end
-         else begin
-           let chosen = pick ~step:!steps ~ready in
+       if ready = [] then flush_step ()
+       else if !steps >= max_steps then begin
+         kill_ready ready;
+         flush_step ()
+       end
+       else begin
+         flush_step ();
+         let prev = match !trace with [] -> [] | r :: _ -> r.s_acc in
+         match guide ~step:!steps ~ready ~prev with
+         | `Cut ->
+           kill_ready ready;
+           flush_step ()
+         | `Go chosen ->
            let chosen = max 0 (min chosen (List.length ready - 1)) in
-           trace := { ready; chosen } :: !trace;
+           trace := { s_ready = ready; s_chosen = chosen; s_acc = [] } :: !trace;
            incr steps;
            let st = states.(List.nth ready chosen) in
            current := st.index;
+           (* The annotation announced at the suspending yield opens the
+              step's footprint; tracing fills in the rest dynamically. *)
+           acc := [ st.pending ];
+           st.pending <- Runtime.Pure;
            activate st;
            current := -1;
            loop ()
-         end
+       end
      in
      loop ()
    with e ->
@@ -133,7 +175,19 @@ let run ?(max_steps = 100_000) ?pick procs =
            match st.failure with Some e -> Some (st.index, e) | None -> None)
   in
   ( { steps = !steps; failures; killed = List.rev !killed },
-    List.rev !trace )
+    List.rev_map
+      (fun r -> { ready = r.s_ready; chosen = r.s_chosen; accesses = r.s_acc })
+      !trace )
+
+let run ?max_steps ?pick procs =
+  let pick =
+    match pick with
+    | Some f -> f
+    | None -> fun ~step ~ready -> step mod List.length ready
+  in
+  run_guided ?max_steps
+    ~guide:(fun ~step ~ready ~prev:_ -> `Go (pick ~step ~ready))
+    procs
 
 let run_schedule ?max_steps ~schedule procs =
   let schedule = Array.of_list schedule in

@@ -8,9 +8,16 @@
     thread concurrency, simulated exactly on one core.
 
     While a simulation runs, the scheduler owns the runtime hooks
-    ({!Stm_core.Runtime.yield_hook}, [proc_hook]) and swaps each STM's
-    thread-local state when switching processes, so transactions of
-    different logical processes never bleed into each other. *)
+    ({!Stm_core.Runtime.yield_hook}, [proc_hook], the access trace) and swaps
+    each STM's thread-local state when switching processes, so transactions
+    of different logical processes never bleed into each other.
+
+    Each executed step carries its {e footprint}: the annotation announced
+    at the scheduling point, plus every shared access the STM machinery
+    actually performed before the next scheduling point (lock stamps, clock
+    reads/ticks, value installs), captured through
+    {!Stm_core.Runtime.trace_hook}.  The DPOR explorer consumes these to
+    decide which steps commute. *)
 
 type outcome = {
   steps : int;  (** scheduling points executed *)
@@ -18,7 +25,8 @@ type outcome = {
       (** processes that ended with an exception (e.g.
           {!Stm_core.Control.Starvation}), by process index *)
   killed : int list;
-      (** processes forcibly terminated because [max_steps] was reached *)
+      (** processes forcibly terminated: [max_steps] was reached, or the
+          guide cut the run short *)
 }
 
 val completed : outcome -> bool
@@ -27,7 +35,34 @@ val completed : outcome -> bool
 type choice = {
   ready : int list;  (** indices of runnable processes, ascending *)
   chosen : int;      (** index {e into [ready]} that was picked *)
+  accesses : Stm_core.Runtime.access list;
+      (** footprint of the step: announced annotation first, then the
+          dynamically traced accesses in program order *)
 }
+
+type guidance = [ `Go of int | `Cut ]
+
+val run_guided :
+  ?max_steps:int ->
+  guide:
+    (step:int ->
+    ready:int list ->
+    prev:Stm_core.Runtime.access list ->
+    guidance) ->
+  (unit -> unit) list ->
+  outcome * choice list
+(** [run_guided ~guide procs] executes the processes under full caller
+    control.  At every decision the guide receives the step number, the
+    ready list, and [prev] — the complete footprint of the step that just
+    finished (empty at step 0).  [`Go i] runs the [i]-th ready process
+    (clamped); [`Cut] abandons the run: all remaining processes are killed
+    and reported in [killed].  A cut run's outcome is partial and must not
+    be verdict-checked — the DPOR explorer cuts exactly the runs whose every
+    extension is equivalent to an already-explored one.
+
+    Every run resets the simulation id pools
+    ({!Stm_core.Runtime.reset_sim_ids}), so tvar/tx ids are a deterministic
+    function of the schedule. *)
 
 val run :
   ?max_steps:int ->

@@ -9,6 +9,7 @@ let create ?(seed = 0) () =
   { window = 16; rng = (seed lxor 0x1E3779B97F4A7C15) lor 1 }
 
 let reset t = t.window <- 16
+let window t = t.window
 
 let next_rand t =
   let x = t.rng in

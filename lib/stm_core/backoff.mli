@@ -13,3 +13,10 @@ val reset : t -> unit
 
 val once : t -> unit
 (** Wait once and widen the window. *)
+
+val window : t -> int
+(** Current window size, for tests and diagnostics.  Starts at 16,
+    doubles on every {!once} and never exceeds [max_window]. *)
+
+val max_window : int
+(** Upper bound on the window (2{^14} relaxation steps). *)

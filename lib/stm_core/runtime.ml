@@ -1,15 +1,84 @@
+(* Access annotations.  [Pure] claims the upcoming step touches no shared
+   state; the other constructors name the protection element about to be
+   accessed.  The deterministic scheduler uses them (together with the
+   dynamic trace hook below) to compute which steps commute. *)
+type access =
+  | Pure
+  | Read of int
+  | Write of int
+  | Lock of int
+
+let clock_pe = -1
+
+let pp_access ppf = function
+  | Pure -> Format.fprintf ppf "pure"
+  | Read pe when pe = clock_pe -> Format.fprintf ppf "R(clock)"
+  | Write pe when pe = clock_pe -> Format.fprintf ppf "W(clock)"
+  | Read pe -> Format.fprintf ppf "R(%d)" pe
+  | Write pe -> Format.fprintf ppf "W(%d)" pe
+  | Lock pe -> Format.fprintf ppf "L(%d)" pe
+
 let proc_hook = ref (fun () -> (Domain.self () :> int))
 let current_proc () = !proc_hook ()
 
-let yield_hook = ref (fun () -> ())
-let schedule_point () = !yield_hook ()
+let yield_hook : (access -> unit) ref = ref (fun _ -> ())
+let schedule_point () = !yield_hook Pure
+let schedule_point_on a = !yield_hook a
 
 let simulated = ref false
 
+(* Dynamic access tracing.  While the deterministic scheduler runs, every
+   shared access performed by the STM machinery (versioned-lock stamps,
+   tvar stores, global-clock reads/ticks, abstract locks) reports itself
+   here, giving each scheduling step its exact footprint.  Off by default;
+   call sites guard on [tracing] so the hot path pays one load and branch,
+   and no allocation, when no scheduler is attached. *)
+let tracing = ref false
+let trace_hook : (access -> unit) ref = ref (fun _ -> ())
+let trace_access a = !trace_hook a
+
 let retry_cap = ref max_int
 
+(* Identifier supplies.  Outside the deterministic scheduler these are
+   global atomic counters.  Under simulation, ids are drawn from per-process
+   pools instead: two independent steps that each allocate (a tvar created
+   inside a transaction, a fresh transaction id) must produce the same ids
+   in either execution order, otherwise id-derived behaviour (write-set lock
+   ordering, owner comparisons) would distinguish equivalent interleavings
+   and break partial-order reduction. *)
 let tx_counter = Atomic.make 0
-let fresh_tx_id () = Atomic.fetch_and_add tx_counter 1
+let tvar_counter = Atomic.make 0
+
+let sim_id_base = 1 lsl 40
+let sim_id_stride = 1 lsl 28
+
+let sim_tx_pools : (int, int ref) Hashtbl.t = Hashtbl.create 8
+let sim_tvar_pools : (int, int ref) Hashtbl.t = Hashtbl.create 8
+
+let reset_sim_ids () =
+  Hashtbl.reset sim_tx_pools;
+  Hashtbl.reset sim_tvar_pools
+
+let salted_id pools =
+  let p = current_proc () in
+  let r =
+    match Hashtbl.find_opt pools p with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add pools p r;
+      r
+  in
+  incr r;
+  sim_id_base + ((p + 1) * sim_id_stride) + !r
+
+let fresh_tx_id () =
+  if !simulated then salted_id sim_tx_pools
+  else Atomic.fetch_and_add tx_counter 1
+
+let fresh_tvar_id () =
+  if !simulated then salted_id sim_tvar_pools
+  else Atomic.fetch_and_add tvar_counter 1
 
 (* TLS registry.  Registration happens at module initialisation time (each
    STM registers once); save/restore run only under the single-domain

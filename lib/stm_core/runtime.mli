@@ -7,18 +7,52 @@
     access, which is what makes exhaustive interleaving exploration
     possible. *)
 
+(** What a scheduling point is about to do to shared state, named by
+    protection element (= tvar id, abstract-lock id, or {!clock_pe}).
+    [Pure] promises the step touches nothing shared.  Annotations may be
+    conservative: claiming an access that does not happen is always safe
+    (the explorer merely prunes less), claiming [Pure] for a step with a
+    shared effect is not. *)
+type access =
+  | Pure
+  | Read of int
+  | Write of int
+  | Lock of int  (** acquisition or release of a versioned/abstract lock:
+                     treated as a read-modify-write of the element *)
+
+val clock_pe : int
+(** Reserved protection-element id of the global version clock. *)
+
+val pp_access : Format.formatter -> access -> unit
+
 val proc_hook : (unit -> int) ref
 (** Returns the id of the current logical process.  Default: domain id. *)
 
 val current_proc : unit -> int
 
-val yield_hook : (unit -> unit) ref
+val yield_hook : (access -> unit) ref
 (** Called by STM implementations immediately before every shared access
-    (transactional read, write, lock acquisition, commit).  Default: no-op.
-    The deterministic scheduler installs its context switch here. *)
+    (transactional read, write, lock acquisition, commit), annotated with
+    the access about to be performed.  Default: no-op.  The deterministic
+    scheduler installs its context switch here. *)
 
 val schedule_point : unit -> unit
-(** Invoke the yield hook. *)
+(** Invoke the yield hook with a {!Pure} annotation. *)
+
+val schedule_point_on : access -> unit
+(** Invoke the yield hook with the given annotation. *)
+
+val tracing : bool ref
+(** When set (by the deterministic scheduler), shared accesses performed by
+    the STM machinery report themselves to {!trace_access}.  Call sites
+    must guard on this flag so that non-simulated runs pay no allocation. *)
+
+val trace_hook : (access -> unit) ref
+(** Receiver of traced accesses; owned by the deterministic scheduler. *)
+
+val trace_access : access -> unit
+(** Report one shared access to the trace hook.  Callers are expected to
+    check {!tracing} first: [if !Runtime.tracing then Runtime.trace_access a]. *)
 
 val simulated : bool ref
 (** Set by the deterministic scheduler while a simulation runs.  Spin-wait
@@ -32,6 +66,16 @@ val retry_cap : int ref
 
 val fresh_tx_id : unit -> int
 (** Globally unique transaction identifiers. *)
+
+val fresh_tvar_id : unit -> int
+(** Globally unique tvar / protection-element identifiers. *)
+
+val reset_sim_ids : unit -> unit
+(** Reset the per-process id pools used while {!simulated} is set.  Called
+    by the deterministic scheduler at the start of every run so that ids
+    are a deterministic function of (process, allocation index) — a
+    requirement for partial-order reduction: independent steps must
+    allocate the same ids in either execution order. *)
 
 (** Thread-local-state registry.  Every STM registers the save/restore pair
     for its "current transaction" slot; the deterministic scheduler snapshots

@@ -100,7 +100,7 @@ module Wset = struct
     while !ok && !i < n do
       let (W e) = Vec.get t.entries !i in
       if not e.locked then begin
-        Runtime.schedule_point ();
+        Runtime.schedule_point_on (Runtime.Lock (wentry_pe (W e)));
         if Vlock.try_lock e.tv.Tvar.lock ~owner then e.locked <- true
         else ok := false
       end;
@@ -115,7 +115,7 @@ module Wset = struct
     | Some (W e) ->
       if e.locked then true
       else begin
-        Runtime.schedule_point ();
+        Runtime.schedule_point_on (Runtime.Lock (wentry_pe (W e)));
         if Vlock.try_lock e.tv.Tvar.lock ~owner then begin
           e.locked <- true;
           true

@@ -4,16 +4,19 @@ type 'a t = {
   mutable content : 'a;
 }
 
-let next_id = Atomic.make 0
-
-let make v = { id = Atomic.fetch_and_add next_id 1; lock = Vlock.create (); content = v }
+let make v =
+  let id = Runtime.fresh_tvar_id () in
+  { id; lock = Vlock.create ~pe:id (); content = v }
 
 let id tv = tv.id
 
 (* Double-stamp read: the two SC atomic loads around the plain load of
    [content] ensure that if the stamp is identical and unlocked on both sides
    then the plain load observed the value published by the commit that wrote
-   that stamp (commit stores content before the atomic unlock). *)
+   that stamp (commit stores content before the atomic unlock).
+
+   The stamp loads trace themselves (the lock's pe is the tvar id), so a
+   traced step covers the content load too — same protection element. *)
 let read_consistent tv =
   let s1 = Vlock.stamp tv.lock in
   if Vlock.locked s1 then Control.abort_tx Control.Read_locked;
@@ -24,4 +27,6 @@ let read_consistent tv =
 
 let peek tv = tv.content
 
-let unsafe_write tv v = tv.content <- v
+let unsafe_write tv v =
+  if !Runtime.tracing then Runtime.trace_access (Runtime.Write tv.id);
+  tv.content <- v

@@ -1,20 +1,34 @@
 (* Stamp layout: [version lsl 1] lor [locked bit].  A locked stamp keeps the
    version that was current when the lock was taken, so readers that observe
-   a locked stamp still learn the last committed version. *)
+   a locked stamp still learn the last committed version.
+
+   Every lock knows its protection-element id [pe] so that stamp loads and
+   lock transitions can report themselves to the deterministic scheduler's
+   access trace (guarded on [Runtime.tracing]; free otherwise). *)
 
 type t = {
   stamp_cell : int Atomic.t;
   mutable owner_id : int;   (* written only by the lock holder *)
   mutable saved : int;      (* stamp to restore on abort, ditto *)
+  pe : int;
 }
 
-let create () = { stamp_cell = Atomic.make 0; owner_id = -1; saved = 0 }
+let no_pe = -2
 
-let stamp t = Atomic.get t.stamp_cell
+let create ?(pe = no_pe) () =
+  { stamp_cell = Atomic.make 0; owner_id = -1; saved = 0; pe }
+
+let pe t = t.pe
+
+let stamp t =
+  if !Runtime.tracing then Runtime.trace_access (Runtime.Read t.pe);
+  Atomic.get t.stamp_cell
+
 let locked s = s land 1 = 1
 let version_of s = s lsr 1
 
 let try_lock t ~owner =
+  if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
   let s = Atomic.get t.stamp_cell in
   if locked s then false
   else if Atomic.compare_and_set t.stamp_cell s (s lor 1) then begin
@@ -27,13 +41,18 @@ let try_lock t ~owner =
 let owner t = t.owner_id
 
 let locked_by t ~owner =
+  if !Runtime.tracing then Runtime.trace_access (Runtime.Read t.pe);
   let s = Atomic.get t.stamp_cell in
   locked s && t.owner_id = owner
 
-let unlock_restore t = Atomic.set t.stamp_cell t.saved
+let unlock_restore t =
+  if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  Atomic.set t.stamp_cell t.saved
 
-let unlock_to t ~version = Atomic.set t.stamp_cell (version lsl 1)
+let unlock_to t ~version =
+  if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  Atomic.set t.stamp_cell (version lsl 1)
 
 let pp ppf t =
-  let s = stamp t in
+  let s = Atomic.get t.stamp_cell in
   Format.fprintf ppf "v%d%s" (version_of s) (if locked s then "/locked" else "")

@@ -10,8 +10,14 @@
 
 type t
 
-val create : unit -> t
-(** A fresh unlocked lock at version 0. *)
+val create : ?pe:int -> unit -> t
+(** A fresh unlocked lock at version 0.  [pe] is the protection-element id
+    under which the lock reports its accesses to the deterministic
+    scheduler's trace (defaults to an anonymous id); for a tvar's lock it is
+    the tvar id. *)
+
+val pe : t -> int
+(** Protection-element id passed at creation. *)
 
 val stamp : t -> int
 (** Atomic load of the current stamp (version and locked bit together). *)

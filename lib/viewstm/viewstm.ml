@@ -82,7 +82,7 @@ end) : S = struct
   (* Critical read: consistent now, validated again at commit. *)
   let read : type a. ctx -> a tvar -> a =
    fun ctx tv ->
-    Runtime.schedule_point ();
+    Runtime.schedule_point_on (Runtime.Read (Tvar.id tv));
     match Rwsets.Wset.find ctx.root.wset tv with
     | Some v ->
       Txrec.read ctx.root.rec_state ~tx:ctx.tx_id ~pe:(Tvar.id tv)
@@ -111,7 +111,7 @@ end) : S = struct
      nothing (an empty contribution to Pmin). *)
   let read_weak : type a. ctx -> a tvar -> a =
    fun ctx tv ->
-    Runtime.schedule_point ();
+    Runtime.schedule_point_on (Runtime.Read (Tvar.id tv));
     match Rwsets.Wset.find ctx.root.wset tv with
     | Some v -> v
     | None ->
@@ -125,7 +125,7 @@ end) : S = struct
 
   let write : type a. ctx -> a tvar -> a -> unit =
    fun ctx tv v ->
-    Runtime.schedule_point ();
+    Runtime.schedule_point_on (Runtime.Write (Tvar.id tv));
     let pe = Tvar.id tv in
     let first = Rwsets.Wset.add ctx.root.wset tv v in
     if first then Txrec.acquire ctx.root.rec_state ~pe;

@@ -43,7 +43,7 @@ let explore_with (module S : Stm_intf.S) =
 let test_window1_loses_updates () =
   match explore_with (module Oestm.Oe_window1) with
   | Explore.Violation _ -> ()
-  | Explore.All_ok { explored } | Explore.Out_of_budget { explored } ->
+  | Explore.All_ok { explored; _ } | Explore.Out_of_budget { explored; _ } ->
     Alcotest.failf
       "expected the one-read window to lose an update; %d interleavings \
        found none"

@@ -1,0 +1,172 @@
+(* Property coverage for the contention-management plumbing that every
+   STM shares: the randomised exponential backoff and the outermost retry
+   loop.  Previously only exercised indirectly through the engines. *)
+
+open Stm_core
+
+(* Run [f] with the deterministic-scheduler flag set so Backoff.once does
+   not actually spin — these are semantic tests, not timing tests. *)
+let simulated f =
+  let saved = !Runtime.simulated in
+  Runtime.simulated := true;
+  Fun.protect ~finally:(fun () -> Runtime.simulated := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_growth_bounded () =
+  simulated (fun () ->
+      let b = Backoff.create () in
+      Alcotest.(check int) "initial window" 16 (Backoff.window b);
+      (* Exact doubling until the cap... *)
+      for i = 1 to 9 do
+        Backoff.once b;
+        Alcotest.(check int)
+          (Printf.sprintf "window after %d waits" i)
+          (16 lsl i) (Backoff.window b)
+      done;
+      (* ...then clamped, no matter how many more waits happen. *)
+      for _ = 1 to 100 do
+        Backoff.once b
+      done;
+      Alcotest.(check int) "window clamped at max" Backoff.max_window
+        (Backoff.window b))
+
+let backoff_monotone_prop =
+  QCheck.Test.make ~name:"Backoff: window monotone and within bounds"
+    ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, waits) ->
+      simulated (fun () ->
+          let b = Backoff.create ~seed () in
+          let ok = ref true in
+          let prev = ref (Backoff.window b) in
+          for _ = 1 to waits do
+            Backoff.once b;
+            let w = Backoff.window b in
+            if not (w >= !prev && w >= 16 && w <= Backoff.max_window) then
+              ok := false;
+            prev := w
+          done;
+          !ok))
+
+let test_backoff_reset () =
+  simulated (fun () ->
+      let b = Backoff.create ~seed:42 () in
+      for _ = 1 to 20 do
+        Backoff.once b
+      done;
+      Alcotest.(check int) "saturated before reset" Backoff.max_window
+        (Backoff.window b);
+      Backoff.reset b;
+      Alcotest.(check int) "reset restores the initial window" 16
+        (Backoff.window b);
+      Backoff.once b;
+      Alcotest.(check int) "growth restarts from the bottom" 32
+        (Backoff.window b))
+
+(* Under the simulated flag, Backoff.once must not spin: it only yields a
+   scheduling point.  We count them through the yield hook. *)
+let test_backoff_simulated_yields () =
+  simulated (fun () ->
+      let yields = ref 0 in
+      let saved = !Runtime.yield_hook in
+      Runtime.yield_hook := (fun _ -> incr yields);
+      Fun.protect
+        ~finally:(fun () -> Runtime.yield_hook := saved)
+        (fun () ->
+          let b = Backoff.create () in
+          for _ = 1 to 5 do
+            Backoff.once b
+          done;
+          Alcotest.(check int) "one scheduling point per wait" 5 !yields))
+
+(* ------------------------------------------------------------------ *)
+(* Retry_loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_retry_cap cap f =
+  let saved = !Runtime.retry_cap in
+  Runtime.retry_cap := cap;
+  Fun.protect ~finally:(fun () -> Runtime.retry_cap := saved) f
+
+let test_retry_first_attempt_commits () =
+  simulated (fun () ->
+      let stats = Stats.create () in
+      let seen_attempt = ref (-1) in
+      let result =
+        Retry_loop.run ~stats (fun ~attempt ->
+            seen_attempt := attempt;
+            "done")
+      in
+      Alcotest.(check string) "result returned" "done" result;
+      Alcotest.(check int) "first attempt is number 0" 0 !seen_attempt;
+      let s = Stats.snapshot stats in
+      Alcotest.(check (pair int int)) "one commit, no aborts" (1, 0)
+        (s.Stats.commits, s.Stats.aborts))
+
+let test_retry_counts_aborts () =
+  simulated (fun () ->
+      let stats = Stats.create () in
+      let attempts = ref [] in
+      let result =
+        Retry_loop.run ~stats (fun ~attempt ->
+            attempts := attempt :: !attempts;
+            if attempt < 3 then Control.abort_tx Control.Lock_contention;
+            attempt)
+      in
+      Alcotest.(check int) "returns on the fourth attempt" 3 result;
+      Alcotest.(check (list int)) "attempt numbers increment" [ 0; 1; 2; 3 ]
+        (List.rev !attempts);
+      let s = Stats.snapshot stats in
+      Alcotest.(check int) "three aborts recorded" 3 s.Stats.aborts;
+      Alcotest.(check int) "one commit recorded" 1 s.Stats.commits;
+      Alcotest.(check (option int)) "aborts attributed to the reason"
+        (Some 3)
+        (List.assoc_opt Control.Lock_contention s.Stats.by_reason))
+
+let test_retry_cap_starvation () =
+  simulated (fun () ->
+      with_retry_cap 7 (fun () ->
+          let stats = Stats.create () in
+          let calls = ref 0 in
+          Alcotest.check_raises "starvation after the cap"
+            (Control.Starvation "transaction exceeded retry cap") (fun () ->
+              ignore
+                (Retry_loop.run ~stats (fun ~attempt:_ ->
+                     incr calls;
+                     Control.abort_tx Control.Validation_failed)));
+          (* attempts 0..7 ran, attempt 8 tripped the cap *)
+          Alcotest.(check int) "cap+1 attempts executed" 8 !calls;
+          let s = Stats.snapshot stats in
+          Alcotest.(check int) "every attempt recorded as abort" 8
+            s.Stats.aborts;
+          Alcotest.(check int) "nothing committed" 0 s.Stats.commits))
+
+let test_retry_user_exception_passes_through () =
+  simulated (fun () ->
+      let stats = Stats.create () in
+      Alcotest.check_raises "user exceptions are not retried"
+        (Failure "boom") (fun () ->
+          ignore (Retry_loop.run ~stats (fun ~attempt:_ -> failwith "boom")));
+      let s = Stats.snapshot stats in
+      Alcotest.(check (pair int int)) "neither commit nor abort recorded"
+        (0, 0)
+        (s.Stats.commits, s.Stats.aborts))
+
+let suite =
+  [ Alcotest.test_case "backoff: doubling bounded by max" `Quick
+      test_backoff_growth_bounded;
+    QCheck_alcotest.to_alcotest backoff_monotone_prop;
+    Alcotest.test_case "backoff: reset" `Quick test_backoff_reset;
+    Alcotest.test_case "backoff: simulated mode only yields" `Quick
+      test_backoff_simulated_yields;
+    Alcotest.test_case "retry: first attempt commits" `Quick
+      test_retry_first_attempt_commits;
+    Alcotest.test_case "retry: aborts counted then commits" `Quick
+      test_retry_counts_aborts;
+    Alcotest.test_case "retry: cap raises Starvation" `Quick
+      test_retry_cap_starvation;
+    Alcotest.test_case "retry: user exceptions pass through" `Quick
+      test_retry_user_exception_passes_through ]

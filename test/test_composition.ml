@@ -44,20 +44,23 @@ let explore_scenario (module S : Stm_intf.S) ~max_runs =
 
 let test_safe (module S : Stm_intf.S) () =
   match explore_scenario (module S) ~max_runs:4_000 with
-  | Explore.Violation { schedule; explored } ->
+  | Explore.Violation { schedule; explored; _ } ->
     Alcotest.failf "%s: both flags set after %d runs, schedule [%s]" S.name
       explored
       (String.concat ";" (List.map string_of_int schedule))
-  | Explore.All_ok { explored } ->
+  | Explore.All_ok { explored; pruned } ->
+    (* Under DPOR most of the 252 naive schedules collapse into a few
+       Mazurkiewicz representatives; coverage = runs + pruned branches. *)
     Alcotest.(check bool)
       (S.name ^ ": explored a meaningful number of interleavings")
-      true (explored > 50)
+      true
+      (explored > 0 && explored + pruned > 10)
   | Explore.Out_of_budget _ -> ()
 
 let test_broken_composition_found () =
   match explore_scenario (module Oestm.E_broken) ~max_runs:4_000 with
   | Explore.Violation _ -> ()
-  | Explore.All_ok { explored } | Explore.Out_of_budget { explored } ->
+  | Explore.All_ok { explored; _ } | Explore.Out_of_budget { explored; _ } ->
     Alcotest.failf
       "expected an atomicity violation from drop-composition; %d runs found \
        none"

@@ -13,7 +13,10 @@ let () =
        ("boosting", Test_boosting.suite);
        ("ablation", Test_ablation.suite);
        ("theorems", Test_theorems.suite);
+       ("dpor", Test_dpor.suite);
        ("linearizability", Test_linearizability.suite);
+       ("tx_queue_map", Test_tx_queue_map.suite);
+       ("backoff_retry", Test_backoff_retry.suite);
        ("viewstm", Test_viewstm.suite);
        ("stm:View-STM", Test_viewstm.battery_suite) ]
     @ Test_stm_semantics.suites @ Test_eec.suites @ Test_collections.suites)

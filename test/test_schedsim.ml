@@ -103,7 +103,7 @@ let test_explore_counter (module S : Stm_intf.S) () =
   | Explore.Violation { schedule; _ } ->
     Alcotest.failf "lost update under schedule [%s]"
       (String.concat ";" (List.map string_of_int schedule))
-  | Explore.All_ok { explored } ->
+  | Explore.All_ok { explored; _ } ->
     Alcotest.(check bool) "explored several interleavings" true (explored > 10)
   | Explore.Out_of_budget _ -> ()
 
@@ -135,7 +135,7 @@ let test_sampler_finds_known_violation () =
     let procs = scenario.Explore.procs () in
     let _ = Sched.run_schedule ~schedule procs in
     Alcotest.(check bool) "replay reproduces" false (!holds ())
-  | Explore.All_ok { explored } | Explore.Out_of_budget { explored } ->
+  | Explore.All_ok { explored; _ } | Explore.Out_of_budget { explored; _ } ->
     Alcotest.failf "sampler missed the violation in %d runs" explored
 
 let test_sampler_accepts_safe_scenario () =

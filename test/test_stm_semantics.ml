@@ -179,7 +179,6 @@ module Battery (S : Stm_intf.S) = struct
     (* A transaction reading two locations updated together must never see
        them out of sync. *)
     let a = S.tvar 0 and b = S.tvar 0 in
-    let stop = Atomic.make false in
     let violations = Atomic.make 0 in
     let writer =
       Domain.spawn (fun () ->
@@ -187,12 +186,14 @@ module Battery (S : Stm_intf.S) = struct
             S.atomic (fun ctx ->
                 S.write ctx a i;
                 S.write ctx b i)
-          done;
-          Atomic.set stop true)
+          done)
     in
     let reader =
+      (* Fixed iteration count, not a stop flag: identical coverage on any
+         machine speed; a torn snapshot is a violation whether or not the
+         read overlaps the writer. *)
       Domain.spawn (fun () ->
-          while not (Atomic.get stop) do
+          for _ = 1 to 600 do
             let x, y = S.atomic (fun ctx -> (S.read ctx a, S.read ctx b)) in
             if x <> y then ignore (Atomic.fetch_and_add violations 1)
           done)

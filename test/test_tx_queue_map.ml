@@ -1,0 +1,501 @@
+(* Coverage for the two previously untested e.e.c containers: the
+   transactional FIFO queue (Tx_queue) and the transactional maps
+   (Tx_map over the skip-list / linked-list / hash sets).
+
+   Three layers of assurance, mirroring the rest of the test tree:
+   - sequential unit + model-based property tests (Stdlib Queue / Map as
+     the reference implementation);
+   - multi-domain stress with fixed iteration counts and conservation
+     invariants;
+   - exhaustive-interleaving checks under the deterministic scheduler:
+     two-producers/one-consumer queue linearizability against the
+     6-permutation sequential oracle, put_if_absent mutual exclusion,
+     and atomicity of a composed queue->map transfer (the element is in
+     exactly one container in every atomic snapshot). *)
+
+open Schedsim
+
+module S = Oestm.Oe
+module Q = Eec.Tx_queue.Make (S)
+
+module IntV = struct
+  type t = int
+end
+
+module M_skip = Eec.Tx_map.Skip_list (S) (Eec.Set_intf.Int_key) (IntV)
+module M_list = Eec.Tx_map.Linked_list (S) (Eec.Set_intf.Int_key) (IntV)
+module M_hash = Eec.Tx_map.Hash (S) (Eec.Set_intf.Int_key) (IntV)
+
+(* ------------------------------------------------------------------ *)
+(* Tx_queue: sequential semantics                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_fifo_basics () =
+  let q = Q.create () in
+  Alcotest.(check bool) "fresh queue empty" true (Q.is_empty q);
+  Alcotest.(check (option int)) "peek on empty" None (Q.peek_opt q);
+  Alcotest.(check (option int)) "dequeue on empty" None (Q.dequeue_opt q);
+  Q.enqueue q 1;
+  Q.enqueue q 2;
+  Q.enqueue q 3;
+  Alcotest.(check int) "size" 3 (Q.size q);
+  Alcotest.(check (option int)) "peek is oldest" (Some 1) (Q.peek_opt q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Q.dequeue_opt q);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Q.dequeue_opt q);
+  (* Interleave a fresh enqueue with the remaining element. *)
+  Q.enqueue q 4;
+  Alcotest.(check (list int)) "to_list in order" [ 3; 4 ] (Q.to_list q);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Q.dequeue_opt q);
+  Alcotest.(check (option int)) "fifo 4" (Some 4) (Q.dequeue_opt q);
+  Alcotest.(check bool) "empty again" true (Q.is_empty q);
+  (* Emptying must have reset the tail: the next enqueue is reachable. *)
+  Q.enqueue q 5;
+  Alcotest.(check (list int)) "tail reset after drain" [ 5 ] (Q.to_list q)
+
+let test_queue_bulk_ops () =
+  let q = Q.create () in
+  Q.enqueue_all q [ 1; 2; 3; 4 ];
+  Alcotest.(check (list int)) "enqueue_all keeps order" [ 1; 2; 3; 4 ]
+    (Q.to_list q);
+  let dst = Q.create () in
+  Q.enqueue dst 0;
+  Alcotest.(check bool) "transfer_one moves head" true
+    (Q.transfer_one ~src:q ~dst);
+  Alcotest.(check (list int)) "src lost its head" [ 2; 3; 4 ] (Q.to_list q);
+  Alcotest.(check (list int)) "dst appended" [ 0; 1 ] (Q.to_list dst);
+  Alcotest.(check int) "drain_into moves the rest" 3
+    (Q.drain_into ~src:q ~dst);
+  Alcotest.(check bool) "src drained" true (Q.is_empty q);
+  Alcotest.(check (list int)) "dst has everything in order" [ 0; 1; 2; 3; 4 ]
+    (Q.to_list dst);
+  Alcotest.(check bool) "transfer from empty is a no-op" false
+    (Q.transfer_one ~src:q ~dst)
+
+(* Model-based: a random op sequence must behave exactly like Stdlib.Queue. *)
+type qop = Enq of int | Deq | Peek | Size
+
+let qop_print = function
+  | Enq n -> Printf.sprintf "enq %d" n
+  | Deq -> "deq"
+  | Peek -> "peek"
+  | Size -> "size"
+
+let qop_gen =
+  QCheck.Gen.(
+    oneof
+      [ map (fun n -> Enq n) (int_bound 20);
+        return Deq; return Peek; return Size ])
+
+let queue_model_prop =
+  QCheck.Test.make ~name:"Tx_queue: agrees with Stdlib.Queue" ~count:60
+    QCheck.(
+      make
+        ~print:(fun ops -> String.concat "; " (List.map qop_print ops))
+        Gen.(list_size (int_bound 40) qop_gen))
+    (fun ops ->
+      let q = Q.create () in
+      let m = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Enq n ->
+            Q.enqueue q n;
+            Queue.add n m;
+            true
+          | Deq -> Q.dequeue_opt q = Queue.take_opt m
+          | Peek -> Q.peek_opt q = Queue.peek_opt m
+          | Size -> Q.size q = Queue.length m)
+        ops
+      && Q.to_list q = List.of_seq (Queue.to_seq m))
+
+(* Single producer / single consumer across real domains: with one
+   producer, FIFO means the consumer sees exactly 0,1,2,... and whatever
+   it missed is still queued, in order.  Fixed iteration counts on both
+   sides so the test is machine-speed independent. *)
+let test_queue_two_domain_stress () =
+  let n = 200 in
+  let q = Q.create () in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          Q.enqueue q i
+        done)
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        let got = ref [] in
+        for _ = 1 to 2 * n do
+          match Q.dequeue_opt q with
+          | Some v -> got := v :: !got
+          | None -> Domain.cpu_relax ()
+        done;
+        List.rev !got)
+  in
+  Domain.join producer;
+  let consumed = Domain.join consumer in
+  let remaining = Q.to_list q in
+  Alcotest.(check (list int)) "conservation: consumed @ remaining = produced"
+    (List.init n Fun.id) (consumed @ remaining);
+  (* FIFO: the consumed prefix is exactly 0..k-1 (implied by the check
+     above, stated explicitly for a sharper failure message). *)
+  Alcotest.(check (list int)) "consumer saw a FIFO prefix"
+    (List.init (List.length consumed) Fun.id)
+    consumed
+
+(* Interleaving exploration budget, as in test_linearizability: the
+   queue/map transactions have enough scheduling points that their trees
+   exceed any practical budget even after partial-order reduction (every
+   commit ticks the shared clock, so commits never commute), so — like
+   the set linearizability checker — [Out_of_budget] means "no violation
+   in [budget] distinct interleavings", which is the testable claim. *)
+let check_budget = 1_000
+
+(* Exhaustive-within-budget interleavings: two producers and one
+   consumer.  The oracle is the set of outcomes of all 6 sequential
+   permutations of the three operations, computed on Stdlib.Queue.
+   Every interleaving the scheduler produces must land on one of them —
+   the outcome-oracle pattern of test_linearizability. *)
+let test_queue_exhaustive_linearizable () =
+  let allowed =
+    let rec perms = function
+      | [] -> [ [] ]
+      | l ->
+        List.concat_map
+          (fun x ->
+            List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
+          l
+    in
+    List.map
+      (fun order ->
+        let m = Queue.create () in
+        let d = ref None in
+        List.iter
+          (function
+            | `E1 -> Queue.add 1 m
+            | `E2 -> Queue.add 2 m
+            | `D -> d := Queue.take_opt m)
+          order;
+        (!d, List.of_seq (Queue.to_seq m)))
+      (perms [ `E1; `E2; `D ])
+  in
+  let slot = ref (fun () -> None) in
+  let bad = ref None in
+  let pp_outcome (d, l) =
+    Printf.sprintf "(dequeued %s, final [%s])"
+      (match d with None -> "None" | Some v -> Printf.sprintf "Some %d" v)
+      (String.concat ";" (List.map string_of_int l))
+  in
+  let result =
+    Explore.explore ~max_runs:check_budget
+      { Explore.procs =
+          (fun () ->
+            let q = Q.create () in
+            let dq = ref None in
+            let d1 = ref false and d2 = ref false and d3 = ref false in
+            slot :=
+              (fun () ->
+                if !d1 && !d2 && !d3 then Some (!dq, Q.to_list q) else None);
+            [ (fun () ->
+                Q.enqueue q 1;
+                d1 := true);
+              (fun () ->
+                Q.enqueue q 2;
+                d2 := true);
+              (fun () ->
+                dq := Q.dequeue_opt q;
+                d3 := true) ]);
+        check =
+          (fun outcome ->
+            if not (Sched.completed outcome) then true
+            else
+              match !slot () with
+              | None -> true
+              | Some o ->
+                let ok = List.mem o allowed in
+                if not ok then bad := Some o;
+                ok) }
+  in
+  match result with
+  | Explore.Violation { schedule; _ } ->
+    Alcotest.failf "non-linearizable outcome %s under [%s]"
+      (match !bad with Some o -> pp_outcome o | None -> "?")
+      (String.concat ";" (List.map string_of_int schedule))
+  | Explore.All_ok { explored; pruned } ->
+    Alcotest.(check bool) "meaningfully explored" true
+      (explored > 0 && explored + pruned > 10)
+  | Explore.Out_of_budget { explored; _ } ->
+    Alcotest.(check bool) "no violation within budget" true (explored > 0)
+
+(* Composition across containers: one process atomically moves the single
+   element from a queue into a map; another takes atomic snapshots of
+   both.  In every explored interleaving each snapshot must find the
+   element in exactly one container — the transfer is never half done. *)
+let test_queue_to_map_transfer_atomic () =
+  let slot = ref (fun () -> true) in
+  let result =
+    Explore.explore ~max_runs:check_budget
+      { Explore.procs =
+          (fun () ->
+            let q = Q.create () in
+            let m = M_hash.create () in
+            Q.enqueue q 7;
+            let torn = ref false in
+            let observed = ref [] in
+            slot :=
+              (fun () ->
+                (not !torn)
+                && Q.is_empty q
+                && M_hash.get m 7 = Some 70
+                && List.for_all (fun c -> c = 1) !observed);
+            [ (fun () ->
+                S.atomic ~mode:Elastic (fun _ ->
+                    match Q.dequeue_opt q with
+                    | None -> ()
+                    | Some v -> ignore (M_hash.put m v (v * 10))));
+              (fun () ->
+                for _ = 1 to 2 do
+                  let in_q, in_m =
+                    S.atomic ~mode:Regular (fun _ ->
+                        (Q.size q, M_hash.mem m 7))
+                  in
+                  let count = in_q + Bool.to_int in_m in
+                  observed := count :: !observed;
+                  if count <> 1 then torn := true
+                done) ]);
+        check =
+          (fun outcome ->
+            if not (Sched.completed outcome) then true else !slot ()) }
+  in
+  match result with
+  | Explore.Violation { schedule; _ } ->
+    Alcotest.failf "queue->map transfer observed half-done under [%s]"
+      (String.concat ";" (List.map string_of_int schedule))
+  | Explore.All_ok { explored; pruned } ->
+    Alcotest.(check bool) "meaningfully explored" true
+      (explored > 0 && explored + pruned > 10)
+  | Explore.Out_of_budget { explored; _ } ->
+    Alcotest.(check bool) "no violation within budget" true (explored > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Tx_map: sequential semantics, over all three backends               *)
+(* ------------------------------------------------------------------ *)
+
+module Map_battery
+    (M : Eec.Tx_map.MAP with type key = int and type value = int) =
+struct
+  let test_basics () =
+    let m = M.create () in
+    Alcotest.(check int) "fresh map empty" 0 (M.size m);
+    Alcotest.(check (option int)) "get on empty" None (M.get m 1);
+    Alcotest.(check bool) "mem on empty" false (M.mem m 1);
+    Alcotest.(check (option int)) "first put returns None" None (M.put m 1 10);
+    Alcotest.(check (option int)) "get finds it" (Some 10) (M.get m 1);
+    Alcotest.(check (option int)) "overwrite returns previous" (Some 10)
+      (M.put m 1 11);
+    Alcotest.(check (option int)) "overwritten" (Some 11) (M.get m 1);
+    Alcotest.(check (option int)) "remove returns binding" (Some 11)
+      (M.remove m 1);
+    Alcotest.(check (option int)) "removed" None (M.get m 1);
+    Alcotest.(check (option int)) "remove absent" None (M.remove m 1);
+    (match M.check_invariants m with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invariants broken: %s" e)
+
+  let test_put_if_absent_and_update () =
+    let m = M.create () in
+    Alcotest.(check (option int)) "pia inserts when absent" None
+      (M.put_if_absent m 5 50);
+    Alcotest.(check (option int)) "pia returns existing" (Some 50)
+      (M.put_if_absent m 5 99);
+    Alcotest.(check (option int)) "pia did not overwrite" (Some 50)
+      (M.get m 5);
+    (* update: increment an existing binding... *)
+    Alcotest.(check (option int)) "update sees previous" (Some 50)
+      (M.update m 5 (function Some v -> Some (v + 1) | None -> Some 0));
+    Alcotest.(check (option int)) "update applied" (Some 51) (M.get m 5);
+    (* ...insert into an absent one... *)
+    Alcotest.(check (option int)) "update on absent sees None" None
+      (M.update m 6 (function None -> Some 60 | Some v -> Some v));
+    Alcotest.(check (option int)) "update inserted" (Some 60) (M.get m 6);
+    (* ...and remove by returning None. *)
+    Alcotest.(check (option int)) "update-to-None removes" (Some 60)
+      (M.update m 6 (fun _ -> None));
+    Alcotest.(check bool) "gone" false (M.mem m 6)
+
+  let test_bulk_ops () =
+    let m = M.create () in
+    M.put_all m [ (3, 30); (1, 10); (2, 20); (1, 11) ];
+    Alcotest.(check int) "size after put_all" 3 (M.size m);
+    Alcotest.(check (list (pair int int))) "bindings ascending by key"
+      [ (1, 11); (2, 20); (3, 30) ]
+      (M.bindings m);
+    Alcotest.(check bool) "remove_all reports change" true
+      (M.remove_all m [ 1; 3; 9 ]);
+    Alcotest.(check bool) "remove_all of absentees reports no change" false
+      (M.remove_all m [ 1; 9 ]);
+    Alcotest.(check (list (pair int int))) "survivors" [ (2, 20) ]
+      (M.bindings m);
+    match M.check_invariants m with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invariants broken: %s" e
+
+  let suite name =
+    [ Alcotest.test_case (name ^ ": basics") `Quick test_basics;
+      Alcotest.test_case
+        (name ^ ": put_if_absent & update") `Quick
+        test_put_if_absent_and_update;
+      Alcotest.test_case (name ^ ": bulk ops") `Quick test_bulk_ops ]
+end
+
+module Skip_battery = Map_battery (M_skip)
+module List_battery = Map_battery (M_list)
+module Hash_battery = Map_battery (M_hash)
+
+(* Model-based: a random op sequence must agree with Stdlib Map. *)
+module IntMap = Map.Make (Int)
+
+type mop = Put of int * int | Rem of int | Get of int | Mem of int | Pia of int * int
+
+let mop_print = function
+  | Put (k, v) -> Printf.sprintf "put %d %d" k v
+  | Rem k -> Printf.sprintf "remove %d" k
+  | Get k -> Printf.sprintf "get %d" k
+  | Mem k -> Printf.sprintf "mem %d" k
+  | Pia (k, v) -> Printf.sprintf "put_if_absent %d %d" k v
+
+let mop_gen =
+  QCheck.Gen.(
+    let key = int_bound 7 in
+    oneof
+      [ map2 (fun k v -> Put (k, v)) key (int_bound 100);
+        map (fun k -> Rem k) key;
+        map (fun k -> Get k) key;
+        map (fun k -> Mem k) key;
+        map2 (fun k v -> Pia (k, v)) key (int_bound 100) ])
+
+let map_model_prop =
+  QCheck.Test.make ~name:"Tx_map(skip): agrees with Stdlib.Map" ~count:60
+    QCheck.(
+      make
+        ~print:(fun ops -> String.concat "; " (List.map mop_print ops))
+        Gen.(list_size (int_bound 40) mop_gen))
+    (fun ops ->
+      let m = M_skip.create () in
+      let model = ref IntMap.empty in
+      List.for_all
+        (fun op ->
+          match op with
+          | Put (k, v) ->
+            let prev = IntMap.find_opt k !model in
+            model := IntMap.add k v !model;
+            M_skip.put m k v = prev
+          | Rem k ->
+            let prev = IntMap.find_opt k !model in
+            model := IntMap.remove k !model;
+            M_skip.remove m k = prev
+          | Get k -> M_skip.get m k = IntMap.find_opt k !model
+          | Mem k -> M_skip.mem m k = IntMap.mem k !model
+          | Pia (k, v) ->
+            let prev = IntMap.find_opt k !model in
+            if prev = None then model := IntMap.add k v !model;
+            M_skip.put_if_absent m k v = prev)
+        ops
+      && M_skip.bindings m = IntMap.bindings !model
+      && M_skip.check_invariants m = Ok ())
+
+(* Multi-domain stress: two writers on disjoint key ranges plus a
+   contended put_if_absent on one shared key.  Fixed iteration counts;
+   afterwards the map must hold exactly the union, the shared key must
+   have exactly one winner, and the structural invariants must hold. *)
+let test_map_two_domain_stress () =
+  let n = 100 in
+  let shared = 10_000 in
+  let m = M_skip.create () in
+  let writer lo id =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          ignore (M_skip.put m (lo + (2 * i)) (lo + (2 * i)))
+        done;
+        (* everyone also races on one shared key *)
+        M_skip.put_if_absent m shared id = None)
+  in
+  let d1 = writer 0 1 and d2 = writer 1 2 in
+  let won1 = Domain.join d1 and won2 = Domain.join d2 in
+  Alcotest.(check bool) "exactly one put_if_absent winner" true
+    (won1 <> won2);
+  let winner = if won1 then 1 else 2 in
+  Alcotest.(check (option int)) "shared key holds the winner's value"
+    (Some winner) (M_skip.get m shared);
+  Alcotest.(check int) "size = both ranges + shared" ((2 * n) + 1)
+    (M_skip.size m);
+  List.iter
+    (fun k ->
+      if M_skip.get m k <> Some k then
+        Alcotest.failf "binding for %d lost or corrupted" k)
+    (List.init (2 * n) Fun.id);
+  match M_skip.check_invariants m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariants broken after stress: %s" e
+
+(* Exhaustive interleavings: two processes race put_if_absent on the same
+   key.  In EVERY interleaving exactly one must win (return None), the
+   loser must be told the winner's value, and the map must keep the
+   winner's binding. *)
+let test_map_put_if_absent_exclusive () =
+  let slot = ref (fun () -> None) in
+  let result =
+    Explore.explore ~max_runs:check_budget
+      { Explore.procs =
+          (fun () ->
+            let m = M_list.create () in
+            let r1 = ref (Some min_int) and r2 = ref (Some min_int) in
+            let d1 = ref false and d2 = ref false in
+            slot :=
+              (fun () ->
+                if !d1 && !d2 then Some (!r1, !r2, M_list.get m 5) else None);
+            [ (fun () ->
+                r1 := M_list.put_if_absent m 5 10;
+                d1 := true);
+              (fun () ->
+                r2 := M_list.put_if_absent m 5 20;
+                d2 := true) ]);
+        check =
+          (fun outcome ->
+            if not (Sched.completed outcome) then true
+            else
+              match !slot () with
+              | None -> true
+              | Some (r1, r2, final) -> (
+                match (r1, r2, final) with
+                | None, Some seen, Some kept -> seen = 10 && kept = 10
+                | Some seen, None, Some kept -> seen = 20 && kept = 20
+                | _ -> false)) }
+  in
+  match result with
+  | Explore.Violation { schedule; _ } ->
+    Alcotest.failf "put_if_absent not mutually exclusive under [%s]"
+      (String.concat ";" (List.map string_of_int schedule))
+  | Explore.All_ok { explored; pruned } ->
+    Alcotest.(check bool) "meaningfully explored" true
+      (explored > 0 && explored + pruned > 10)
+  | Explore.Out_of_budget { explored; _ } ->
+    Alcotest.(check bool) "no violation within budget" true (explored > 0)
+
+let suite =
+  [ Alcotest.test_case "queue: FIFO basics" `Quick test_queue_fifo_basics;
+    Alcotest.test_case "queue: bulk transfers" `Quick test_queue_bulk_ops;
+    QCheck_alcotest.to_alcotest queue_model_prop;
+    Alcotest.test_case "queue: 2-domain producer/consumer" `Slow
+      test_queue_two_domain_stress;
+    Alcotest.test_case "queue: exhaustive 2p/1c linearizability" `Slow
+      test_queue_exhaustive_linearizable;
+    Alcotest.test_case "queue->map: composed transfer is atomic" `Slow
+      test_queue_to_map_transfer_atomic ]
+  @ Skip_battery.suite "map(skip)"
+  @ List_battery.suite "map(list)"
+  @ Hash_battery.suite "map(hash)"
+  @ [ QCheck_alcotest.to_alcotest map_model_prop;
+      Alcotest.test_case "map: 2-domain stress + invariants" `Slow
+        test_map_two_domain_stress;
+      Alcotest.test_case "map: exhaustive put_if_absent exclusion" `Slow
+        test_map_put_if_absent_exclusive ]

@@ -79,14 +79,15 @@ let test_critical_view_composes () =
   | Explore.Violation { schedule; _ } ->
     Alcotest.failf "critical view violated under [%s]"
       (String.concat ";" (List.map string_of_int schedule))
-  | Explore.All_ok { explored } ->
-    Alcotest.(check bool) "meaningfully explored" true (explored > 50)
+  | Explore.All_ok { explored; pruned } ->
+    Alcotest.(check bool) "meaningfully explored" true
+      (explored > 0 && explored + pruned > 10)
   | Explore.Out_of_budget _ -> ()
 
 let test_weak_guard_breaks () =
   match explore_guard ~critical_guard:false with
   | Explore.Violation _ -> ()
-  | Explore.All_ok { explored } | Explore.Out_of_budget { explored } ->
+  | Explore.All_ok { explored; _ } | Explore.Out_of_budget { explored; _ } ->
     Alcotest.failf
       "guard outside the critical view should break in some interleaving \
        (%d explored)"
