@@ -1,0 +1,32 @@
+open Stm_core
+
+(* Minimal dependent-steps scenario: order of the two writes decides the
+   outcome.  The protection element is allocated in procs(), i.e. outside
+   the simulation, like tvars in the real scenarios. *)
+let () =
+  let r = ref 0 in
+  let outcomes = ref [] in
+  let pes = ref [] in
+  let scen =
+    { Schedsim.Explore.procs =
+        (fun () ->
+          let pe = Runtime.fresh_tvar_id () in
+          pes := pe :: !pes;
+          r := 0;
+          [ (fun () -> Runtime.schedule_point_on (Runtime.Write pe); r := !r + 1);
+            (fun () -> Runtime.schedule_point_on (Runtime.Write pe); r := (!r * 2) + 10) ]);
+      check =
+        (fun _ ->
+          outcomes := !r :: !outcomes;
+          !r <> 11 (* violation iff proc1 ran first *) ) }
+  in
+  let show name res =
+    Format.printf "%s: %a; outcomes seen = [%s]; pes = [%s]@." name
+      Schedsim.Explore.pp_result res
+      (String.concat ";" (List.map string_of_int (List.sort_uniq compare !outcomes)))
+      (String.concat ";" (List.rev_map string_of_int !pes))
+  in
+  outcomes := []; pes := [];
+  show "naive" (Schedsim.Explore.explore ~mode:`Naive scen);
+  outcomes := []; pes := [];
+  show "dpor " (Schedsim.Explore.explore ~mode:`Dpor scen)
