@@ -80,24 +80,48 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 (* Part 2: figure sweep                                                *)
 
-let run_sweep () =
+let run_sweep ~detailed ~json =
   print_endline "\n## Figure sweep: throughput (ops/ms) and abort rate";
   Printf.printf
     "## threads 1,2,4,8 - %d hardware core(s); domains timeslice, so the\n\
      ## absolute scaling is flattened while relative ordering and abort\n\
      ## rates reproduce the paper's shape (see EXPERIMENTS.md)\n%!"
     (Domain.recommended_domain_count ());
-  List.iter
-    (fun figure ->
-      let r =
-        Harness.Figures.run ~size_exp:12 ~threads:[ 1; 2; 4; 8 ]
-          ~duration:0.2 ~runs:2 ~seed:42 figure
-      in
-      Format.printf "%a%!" Harness.Figures.pp_result r)
-    Harness.Figures.all
+  let results =
+    List.map
+      (fun figure ->
+        let r =
+          Harness.Figures.run ~size_exp:12 ~threads:[ 1; 2; 4; 8 ]
+            ~duration:0.2 ~runs:2 ~seed:42 ~detailed figure
+        in
+        Format.printf "%a%!" Harness.Figures.pp_result r;
+        r)
+      Harness.Figures.all
+  in
+  match json with
+  | None -> ()
+  | Some file ->
+    Harness.Report.write_file file (Harness.Report.report results);
+    Printf.printf "## wrote %s\n%!" file
 
 let () =
-  let skip_sweep = Array.exists (( = ) "--skip-sweep") Sys.argv in
-  let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv in
+  let argv = Sys.argv in
+  let skip_sweep = Array.exists (( = ) "--skip-sweep") argv in
+  let skip_micro = Array.exists (( = ) "--skip-micro") argv in
+  (* [--detailed] leaves the histogram recorders on for the
+     micro-benchmarks too: comparing ns/op with and without it measures
+     the cost of the metrics layer itself (it should be within noise when
+     off — the flag's whole point). *)
+  let detailed = Array.exists (( = ) "--detailed") argv in
+  let json =
+    let rec find i =
+      if i >= Array.length argv then None
+      else if argv.(i) = "--json" && i + 1 < Array.length argv then
+        Some argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  if detailed then Stm_core.Stats.set_detailed true;
   if not skip_micro then run_micro ();
-  if not skip_sweep then run_sweep ()
+  if not skip_sweep then run_sweep ~detailed:(detailed || json <> None) ~json

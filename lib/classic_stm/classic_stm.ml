@@ -164,6 +164,9 @@ module Make (P : POLICY) : Stm_intf.S = struct
         try
           let result = f ctx in
           commit ctx;
+          if Stats.detailed_enabled () then
+            Stats.record_rwset_sizes stats ~reads:(Vec.length ctx.rset)
+              ~writes:(Rwsets.Wset.size ctx.wset);
           Domain.DLS.set current None;
           result
         with e ->

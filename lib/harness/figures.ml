@@ -52,10 +52,13 @@ type figure_result = {
   cfg : Workload.config;
   threads : int list;
   series : series_result list;
+  seed : int;
+  duration : float;  (** seconds per run, as requested *)
+  runs : int;
 }
 
 let run ?(size_exp = 12) ?(threads = [ 1; 2; 4; 8 ]) ?(duration = 0.2)
-    ?(runs = 1) ?(seed = 42) figure =
+    ?(runs = 1) ?(seed = 42) ?(detailed = false) figure =
   let cfg = Workload.paper ~size_exp ~bulk_ratio:(bulk_ratio_of figure) () in
   let series =
     List.map
@@ -65,11 +68,11 @@ let run ?(size_exp = 12) ?(threads = [ 1; 2; 4; 8 ]) ?(duration = 0.2)
         let axis = if T.name = "Sequential" then [ 1 ] else threads in
         { series_name = T.name;
           points =
-            Sweep.run_series (module T) ~cfg ~threads:axis ~duration ~runs
-              ~seed })
+            Sweep.run_series ~detailed (module T) ~cfg ~threads:axis
+              ~duration ~runs ~seed })
       (Target.series_for (structure_of figure))
   in
-  { figure; cfg; threads; series }
+  { figure; cfg; threads; series; seed; duration; runs }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -153,8 +153,7 @@ end) : TARGET = struct
     | I_hs t, Workload.Add_all (a, b) -> ignore (Hs.add_all t [ a; b ])
     | I_hs t, Workload.Remove_all (a, b) -> ignore (Hs.remove_all t [ a; b ])
 
-  let abort_snapshot () : Stats.snapshot =
-    { Stats.commits = 0; aborts = 0; by_reason = [] }
+  let abort_snapshot () : Stats.snapshot = Stats.empty_snapshot ()
 
   let reset_stats () = ()
 end

@@ -337,6 +337,19 @@ module Make (C : CONFIG) : S_EXT = struct
         try
           let result = f ctx in
           commit_root ctx;
+          if Stats.detailed_enabled () then begin
+            (* Committed children have merged their sets into the root, so
+               the root's sets are the whole transaction's footprint.  The
+               elastic window holds at most two more tracked reads. *)
+            let window =
+              (match ctx.w0 with Some _ -> 1 | None -> 0)
+              + match ctx.w1 with Some _ -> 1 | None -> 0
+            in
+            Stats.record_rwset_sizes stats
+              ~reads:
+                (Vec.length ctx.rset_snap + Vec.length ctx.rset_prot + window)
+              ~writes:(Rwsets.Wset.size root.wset)
+          end;
           Domain.DLS.set current None;
           result
         with e ->

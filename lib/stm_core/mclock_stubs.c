@@ -1,0 +1,21 @@
+/* Monotonic clock for latency histograms and benchmark timing windows.
+   CLOCK_MONOTONIC is immune to wall-clock adjustments (NTP slew, manual
+   settimeofday), which gettimeofday-based timing is not. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t stm_mclock_now_ns_native(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t) ts.tv_sec * 1000000000LL + (int64_t) ts.tv_nsec;
+}
+
+CAMLprim value stm_mclock_now_ns_bytecode(value unit)
+{
+  return caml_copy_int64(stm_mclock_now_ns_native(unit));
+}

@@ -1,14 +1,23 @@
 let run ~stats f =
   let backoff = Backoff.create ~seed:(Runtime.fresh_tx_id ()) () in
+  (* Read the flag once per transaction: a mid-transaction toggle may miss
+     this loop, but the flag is only flipped between benchmark phases. *)
+  let detailed = Stats.detailed_enabled () in
   let rec attempt n =
     if n > !Runtime.retry_cap then
       raise (Control.Starvation "transaction exceeded retry cap");
+    let t0 = if detailed then Mclock.now_ns () else 0L in
     match f ~attempt:n with
     | result ->
       Stats.record_commit stats;
+      if detailed then begin
+        Stats.record_commit_latency stats (Mclock.elapsed_ns t0);
+        Stats.record_retry_depth stats n
+      end;
       result
     | exception Control.Abort_tx reason ->
       Stats.record_abort stats reason;
+      if detailed then Stats.record_abort_latency stats (Mclock.elapsed_ns t0);
       Backoff.once backoff;
       attempt (n + 1)
   in

@@ -3,28 +3,122 @@
    counters are only touched once per transaction attempt, far from the
    read/write hot path. *)
 
+(* Detailed metrics (latency histograms, footprints, retry depths) cost two
+   clock reads and a handful of atomic increments per transaction attempt,
+   so they sit behind this global flag: when it is off, the hot path pays a
+   single load-and-branch in Retry_loop and nothing else. *)
+let detailed = Atomic.make false
+let set_detailed b = Atomic.set detailed b
+let detailed_enabled () = Atomic.get detailed
+
+module Hist = struct
+  (* Log-bucketed histogram over non-negative ints.  Bucket 0 counts the
+     value 0; bucket i (i >= 1) counts values in [2^(i-1), 2^i).  63 buckets
+     cover the whole non-negative [int] range on 64-bit, so recording never
+     clamps.  The representative reported for a bucket is its inclusive
+     upper bound, so percentiles over-approximate by at most 2x — the right
+     bias for latency numbers read on a log scale. *)
+  let buckets = 63
+
+  type t = int Atomic.t array
+
+  type snapshot = int array
+
+  let create () : t = Array.init buckets (fun _ -> Atomic.make 0)
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+      bits v 0
+    end
+
+  let upper_bound i = if i = 0 then 0 else (1 lsl i) - 1
+
+  let record (t : t) v = ignore (Atomic.fetch_and_add t.(bucket_of v) 1)
+
+  let snapshot (t : t) : snapshot = Array.map Atomic.get t
+
+  let reset (t : t) = Array.iter (fun c -> Atomic.set c 0) t
+
+  let count (s : snapshot) = Array.fold_left ( + ) 0 s
+
+  let empty () : snapshot = Array.make buckets 0
+
+  let add (a : snapshot) (b : snapshot) : snapshot =
+    Array.init buckets (fun i -> a.(i) + b.(i))
+
+  (* The value at or below which [p] percent of the recorded samples fall
+     (reported as the bucket's upper bound).  [p] in (0, 100]. *)
+  let percentile (s : snapshot) p =
+    let n = count s in
+    if n = 0 then 0
+    else begin
+      let rank =
+        let r = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+        max 1 (min n r)
+      in
+      let rec go i acc =
+        if i >= buckets then upper_bound (buckets - 1)
+        else
+          let acc = acc + s.(i) in
+          if acc >= rank then upper_bound i else go (i + 1) acc
+      in
+      go 0 0
+    end
+
+  let max_value (s : snapshot) =
+    let top = ref 0 in
+    Array.iteri (fun i n -> if n > 0 then top := i) s;
+    if s.(!top) = 0 then 0 else upper_bound !top
+end
+
 type t = {
   commits : int Atomic.t;
   aborts : int Atomic.t;
   by_reason : int Atomic.t array;
+  commit_latency_ns : Hist.t;
+  abort_latency_ns : Hist.t;
+  read_set_size : Hist.t;
+  write_set_size : Hist.t;
+  retry_depth : Hist.t;
 }
 
 type snapshot = {
   commits : int;
   aborts : int;
   by_reason : (Control.reason * int) list;
+  commit_latency_ns : Hist.snapshot;
+  abort_latency_ns : Hist.snapshot;
+  read_set_size : Hist.snapshot;
+  write_set_size : Hist.snapshot;
+  retry_depth : Hist.snapshot;
 }
 
 let create () : t =
   { commits = Atomic.make 0;
     aborts = Atomic.make 0;
-    by_reason = Array.init Control.reason_count (fun _ -> Atomic.make 0) }
+    by_reason = Array.init Control.reason_count (fun _ -> Atomic.make 0);
+    commit_latency_ns = Hist.create ();
+    abort_latency_ns = Hist.create ();
+    read_set_size = Hist.create ();
+    write_set_size = Hist.create ();
+    retry_depth = Hist.create () }
 
 let record_commit (t : t) = ignore (Atomic.fetch_and_add t.commits 1)
 
 let record_abort (t : t) reason =
   ignore (Atomic.fetch_and_add t.aborts 1);
   ignore (Atomic.fetch_and_add t.by_reason.(Control.reason_index reason) 1)
+
+let record_commit_latency (t : t) ns = Hist.record t.commit_latency_ns ns
+let record_abort_latency (t : t) ns = Hist.record t.abort_latency_ns ns
+
+let record_rwset_sizes (t : t) ~reads ~writes =
+  Hist.record t.read_set_size reads;
+  Hist.record t.write_set_size writes
+
+let record_retry_depth (t : t) n = Hist.record t.retry_depth n
 
 let snapshot (t : t) =
   let by_reason =
@@ -34,12 +128,56 @@ let snapshot (t : t) =
         if n = 0 then None else Some (r, n))
       Control.all_reasons
   in
-  { commits = Atomic.get t.commits; aborts = Atomic.get t.aborts; by_reason }
+  { commits = Atomic.get t.commits;
+    aborts = Atomic.get t.aborts;
+    by_reason;
+    commit_latency_ns = Hist.snapshot t.commit_latency_ns;
+    abort_latency_ns = Hist.snapshot t.abort_latency_ns;
+    read_set_size = Hist.snapshot t.read_set_size;
+    write_set_size = Hist.snapshot t.write_set_size;
+    retry_depth = Hist.snapshot t.retry_depth }
 
 let reset (t : t) =
   Atomic.set t.commits 0;
   Atomic.set t.aborts 0;
-  Array.iter (fun c -> Atomic.set c 0) t.by_reason
+  Array.iter (fun c -> Atomic.set c 0) t.by_reason;
+  Hist.reset t.commit_latency_ns;
+  Hist.reset t.abort_latency_ns;
+  Hist.reset t.read_set_size;
+  Hist.reset t.write_set_size;
+  Hist.reset t.retry_depth
+
+let empty_snapshot () : snapshot =
+  { commits = 0;
+    aborts = 0;
+    by_reason = [];
+    commit_latency_ns = Hist.empty ();
+    abort_latency_ns = Hist.empty ();
+    read_set_size = Hist.empty ();
+    write_set_size = Hist.empty ();
+    retry_depth = Hist.empty () }
+
+(* Merge in canonical [Control.all_reasons] order so that [add] is
+   commutative up to structural equality, not just up to reordering. *)
+let add (a : snapshot) (b : snapshot) : snapshot =
+  let count reasons r =
+    match List.assoc_opt r reasons with Some n -> n | None -> 0
+  in
+  let by_reason =
+    List.filter_map
+      (fun r ->
+        let n = count a.by_reason r + count b.by_reason r in
+        if n = 0 then None else Some (r, n))
+      Control.all_reasons
+  in
+  { commits = a.commits + b.commits;
+    aborts = a.aborts + b.aborts;
+    by_reason;
+    commit_latency_ns = Hist.add a.commit_latency_ns b.commit_latency_ns;
+    abort_latency_ns = Hist.add a.abort_latency_ns b.abort_latency_ns;
+    read_set_size = Hist.add a.read_set_size b.read_set_size;
+    write_set_size = Hist.add a.write_set_size b.write_set_size;
+    retry_depth = Hist.add a.retry_depth b.retry_depth }
 
 let abort_rate (s : snapshot) =
   let total = s.commits + s.aborts in
@@ -50,4 +188,8 @@ let pp_snapshot ppf (s : snapshot) =
     (100.0 *. abort_rate s);
   List.iter
     (fun (r, n) -> Format.fprintf ppf " %s=%d" (Control.reason_to_string r) n)
-    s.by_reason
+    s.by_reason;
+  if Hist.count s.commit_latency_ns > 0 then
+    Format.fprintf ppf " commit-p50<=%dns p99<=%dns"
+      (Hist.percentile s.commit_latency_ns 50.0)
+      (Hist.percentile s.commit_latency_ns 99.0)

@@ -1,7 +1,57 @@
-(** Per-STM commit/abort statistics.
+(** Per-STM metrics: commit/abort counters, per-reason abort breakdown,
+    and (behind {!set_detailed}) latency/footprint/retry histograms.
 
-    Each STM implementation owns one [t].  Counters are sharded per domain to
-    avoid contention on the hot path and summed on demand. *)
+    Each STM implementation owns one [t].  All counters are plain atomics,
+    touched once per transaction attempt — far from the read/write hot
+    path.  The histograms are lock-free fixed arrays of atomic buckets, so
+    recording never allocates and never takes a lock. *)
+
+(** {1 Detailed-metrics flag}
+
+    Latency histograms need two monotonic-clock reads per attempt, so they
+    are recorded only while the global flag is on.  When it is off the hot
+    path pays a single load-and-branch ({!Retry_loop}) and nothing else. *)
+
+val set_detailed : bool -> unit
+val detailed_enabled : unit -> bool
+
+(** {1 Log-bucketed histograms}
+
+    Bucket 0 counts the value 0; bucket [i >= 1] counts values in
+    [2^(i-1), 2^i).  Percentiles report a bucket's inclusive upper bound,
+    an over-approximation by at most 2x. *)
+module Hist : sig
+  type t
+
+  type snapshot = int array
+  (** Bucket counts.  Treat as immutable. *)
+
+  val buckets : int
+
+  val create : unit -> t
+
+  val record : t -> int -> unit
+  (** Record one sample; negative values count as 0. *)
+
+  val snapshot : t -> snapshot
+  val reset : t -> unit
+
+  val bucket_of : int -> int
+
+  val upper_bound : int -> int
+  (** Inclusive upper bound of a bucket. *)
+
+  val empty : unit -> snapshot
+  val add : snapshot -> snapshot -> snapshot
+  val count : snapshot -> int
+
+  val percentile : snapshot -> float -> int
+  (** [percentile s p] for [p] in (0, 100]: the bucket upper bound at or
+      below which [p]% of samples fall; 0 when the histogram is empty. *)
+
+  val max_value : snapshot -> int
+  (** Upper bound of the highest non-empty bucket; 0 when empty. *)
+end
 
 type t
 
@@ -9,6 +59,11 @@ type snapshot = {
   commits : int;
   aborts : int;
   by_reason : (Control.reason * int) list;  (** aborts broken down by reason *)
+  commit_latency_ns : Hist.snapshot;  (** duration of committing attempts *)
+  abort_latency_ns : Hist.snapshot;   (** duration of aborted attempts *)
+  read_set_size : Hist.snapshot;   (** entries at commit, committed tx only *)
+  write_set_size : Hist.snapshot;  (** entries at commit, committed tx only *)
+  retry_depth : Hist.snapshot;  (** aborted attempts before each commit *)
 }
 
 val create : unit -> t
@@ -16,8 +71,24 @@ val create : unit -> t
 val record_commit : t -> unit
 val record_abort : t -> Control.reason -> unit
 
+(** The detailed recorders are unconditional; callers guard on
+    {!detailed_enabled} so the clock is not even read when metrics are
+    off. *)
+
+val record_commit_latency : t -> int -> unit
+val record_abort_latency : t -> int -> unit
+val record_rwset_sizes : t -> reads:int -> writes:int -> unit
+val record_retry_depth : t -> int -> unit
+
 val snapshot : t -> snapshot
 val reset : t -> unit
+
+val empty_snapshot : unit -> snapshot
+(** Identity element of {!add}. *)
+
+val add : snapshot -> snapshot -> snapshot
+(** Pointwise sum — commutative and associative with {!empty_snapshot} as
+    identity, so per-run snapshots can be folded into per-point totals. *)
 
 val abort_rate : snapshot -> float
 (** aborts / (aborts + commits), or 0 when no transaction ran. *)

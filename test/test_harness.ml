@@ -118,6 +118,120 @@ let test_mini_sweep () =
         points)
     (Harness.Target.series_for Harness.Target.Linked_list)
 
+let oe_target () =
+  List.find
+    (fun (module T : Harness.Target.TARGET) -> T.name = "OE-STM")
+    (Harness.Target.series_for Harness.Target.Linked_list)
+
+(* Regression for the PR-1 sweep bug: stats were reset at the start of every
+   run but snapshotted only once, after the last run, so a multi-run point
+   under-reported commits/aborts by a factor of [runs].  With per-run
+   accumulation, runs:3 must report roughly three times the commits of
+   runs:1 (same seed, same duration — the workload is deterministic, only
+   the wall-clock window varies). *)
+let test_runs_accumulate () =
+  let cfg = Harness.Workload.paper ~size_exp:6 ~bulk_ratio:0.05 () in
+  let (module T) = oe_target () in
+  let point runs =
+    Harness.Sweep.run_point (module T) ~cfg ~threads:1 ~duration:0.05 ~runs
+      ~seed:11
+  in
+  let p1 = point 1 and p3 = point 3 in
+  Alcotest.(check bool) "single run commits" true (p1.Harness.Sweep.total_commits > 0);
+  Alcotest.(check int) "runs recorded" 3 p3.Harness.Sweep.runs;
+  Alcotest.(check bool)
+    (Printf.sprintf "3 runs accumulate ~3x the commits (1 run: %d, 3 runs: %d)"
+       p1.Harness.Sweep.total_commits p3.Harness.Sweep.total_commits)
+    true
+    (float_of_int p3.Harness.Sweep.total_commits
+     > 1.8 *. float_of_int p1.Harness.Sweep.total_commits);
+  (* The accumulated snapshot must agree with the headline counters. *)
+  Alcotest.(check int) "snapshot commits = total_commits"
+    p3.Harness.Sweep.total_commits
+    p3.Harness.Sweep.stats.Stm_core.Stats.commits
+
+(* The timing window is the measured steady state only: it opens when every
+   worker has passed the start barrier and closes at the stop flag, so it
+   can never be shorter than the requested duration and never includes
+   spawn/join time (which on a loaded CI box dwarfs a short window). *)
+let test_timing_window () =
+  let cfg = Harness.Workload.paper ~size_exp:6 ~bulk_ratio:0.05 () in
+  let (module T) = oe_target () in
+  let duration = 0.05 in
+  let p =
+    Harness.Sweep.run_point (module T) ~cfg ~threads:2 ~duration ~runs:2
+      ~seed:13
+  in
+  Alcotest.(check bool) "window covers both runs" true
+    (p.Harness.Sweep.elapsed_ms >= 2.0 *. duration *. 1000.0 *. 0.95);
+  Alcotest.(check bool) "ops were counted" true
+    (p.Harness.Sweep.total_ops > 0)
+
+let test_detailed_metrics () =
+  let cfg = Harness.Workload.paper ~size_exp:6 ~bulk_ratio:0.05 () in
+  let (module T) = oe_target () in
+  let p =
+    Harness.Sweep.run_point ~detailed:true (module T) ~cfg ~threads:1
+      ~duration:0.05 ~runs:1 ~seed:17
+  in
+  let s = p.Harness.Sweep.stats in
+  let module H = Stm_core.Stats.Hist in
+  Alcotest.(check bool) "commit latencies recorded" true
+    (H.count s.Stm_core.Stats.commit_latency_ns > 0);
+  Alcotest.(check bool) "commit latency p50 positive" true
+    (H.percentile s.Stm_core.Stats.commit_latency_ns 50.0 > 0);
+  Alcotest.(check bool) "retry depths recorded" true
+    (H.count s.Stm_core.Stats.retry_depth > 0);
+  Alcotest.(check bool) "read-set sizes recorded" true
+    (H.count s.Stm_core.Stats.read_set_size > 0);
+  Alcotest.(check bool) "flag restored after the sweep" false
+    (Stm_core.Stats.detailed_enabled ());
+  (* And without the flag nothing detailed is recorded. *)
+  let q =
+    Harness.Sweep.run_point (module T) ~cfg ~threads:1 ~duration:0.02 ~runs:1
+      ~seed:17
+  in
+  Alcotest.(check int) "no latencies when disabled" 0
+    (H.count q.Harness.Sweep.stats.Stm_core.Stats.commit_latency_ns)
+
+let test_json_end_to_end () =
+  let r =
+    Harness.Figures.run ~size_exp:5 ~threads:[ 1 ] ~duration:0.02 ~runs:1
+      ~seed:3 ~detailed:true Harness.Figures.F6a
+  in
+  let text = Harness.Report.to_string (Harness.Report.report [ r ]) in
+  match Harness.Report.of_string text with
+  | Error e -> Alcotest.failf "emitted report is not valid JSON: %s" e
+  | Ok json ->
+    let module R = Harness.Report in
+    let fig =
+      match R.member "figures" json with
+      | Some (R.List [ fig ]) -> fig
+      | _ -> Alcotest.fail "expected exactly one figure"
+    in
+    Alcotest.(check bool) "figure name" true
+      (R.member "figure" fig = Some (R.Str "6a"));
+    Alcotest.(check bool) "seed carried through" true
+      (R.member "seed" fig = Some (R.Int 3));
+    (match R.member "series" fig with
+    | Some (R.List series) ->
+      Alcotest.(check int) "five series" 5 (List.length series);
+      List.iter
+        (fun s ->
+          match R.member "points" s with
+          | Some (R.List (point :: _)) ->
+            List.iter
+              (fun key ->
+                if R.member key point = None then
+                  Alcotest.failf "point is missing %S" key)
+              [ "threads"; "ops_per_ms"; "abort_rate"; "total_ops";
+                "elapsed_ms"; "runs"; "commits"; "aborts";
+                "aborts_by_reason"; "commit_latency_ns"; "abort_latency_ns";
+                "retry_depth"; "read_set_size"; "write_set_size" ]
+          | _ -> Alcotest.fail "series has no points")
+        series
+    | _ -> Alcotest.fail "figure has no series")
+
 let suite =
   [ Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
     Alcotest.test_case "prng split independence" `Quick
@@ -129,4 +243,11 @@ let suite =
       test_workload_keys_in_range;
     Alcotest.test_case "figure wiring" `Quick test_figure_wiring;
     Alcotest.test_case "targets run every op" `Quick test_targets_run_every_op;
-    Alcotest.test_case "mini sweep end-to-end" `Slow test_mini_sweep ]
+    Alcotest.test_case "mini sweep end-to-end" `Slow test_mini_sweep;
+    Alcotest.test_case "multi-run points accumulate stats" `Slow
+      test_runs_accumulate;
+    Alcotest.test_case "timing window excludes spawn/join" `Slow
+      test_timing_window;
+    Alcotest.test_case "detailed metrics in the sweep" `Slow
+      test_detailed_metrics;
+    Alcotest.test_case "JSON report end-to-end" `Slow test_json_end_to_end ]
