@@ -113,15 +113,41 @@ let () =
      the cost of the metrics layer itself (it should be within noise when
      off — the flag's whole point). *)
   let detailed = Array.exists (( = ) "--detailed") argv in
-  let json =
+  let find_value flag =
     let rec find i =
       if i >= Array.length argv then None
-      else if argv.(i) = "--json" && i + 1 < Array.length argv then
+      else if argv.(i) = flag && i + 1 < Array.length argv then
         Some argv.(i + 1)
       else find (i + 1)
     in
     find 1
   in
+  let int_value flag =
+    Option.map
+      (fun v ->
+        match int_of_string_opt v with
+        | Some n -> n
+        | None -> failwith (flag ^ " wants an integer, got " ^ v))
+      (find_value flag)
+  in
+  let json = find_value "--json" in
+  (* Robustness knobs: contention-manager policy, retry cap, backoff
+     window parameters and fault injection.  They configure process-wide
+     state before any measurement starts and are recorded in the JSON
+     report's "config" object. *)
+  Option.iter
+    (fun p -> Stm_core.Cm.set_policy (Stm_core.Cm.policy_of_string p))
+    (find_value "--cm");
+  Option.iter (fun n -> Stm_core.Runtime.retry_cap := n) (int_value "--retry-cap");
+  Option.iter
+    (fun i -> Stm_core.Backoff.set_defaults ~init:i ())
+    (int_value "--backoff-init");
+  Option.iter
+    (fun m -> Stm_core.Backoff.set_defaults ~max_window:m ())
+    (int_value "--backoff-max");
+  Option.iter
+    (fun spec -> Stm_core.Faults.enable (Stm_core.Faults.parse spec))
+    (find_value "--faults");
   if detailed then Stm_core.Stats.set_detailed true;
   if not skip_micro then run_micro ();
   if not skip_sweep then run_sweep ~detailed:(detailed || json <> None) ~json

@@ -1,0 +1,108 @@
+(* CLI for the chaos (fault-injection) test harness.
+
+   Runs every engine's model-checked transfer workload under injected
+   faults across a seed range, plus the forced-fallback scenario and a
+   multi-domain stress run, and prints one summary line per engine.
+   Exits non-zero if any engine shows a safety violation, so CI can gate
+   on it directly.
+
+   Examples:
+     dune exec bin/chaos.exe --                       # 20 seeds, all engines
+     dune exec bin/chaos.exe -- --seeds 5 --runs 10   # short budget
+     dune exec bin/chaos.exe -- --engine oe --json chaos.json *)
+
+open Cmdliner
+
+let parse_engines s =
+  try
+    Ok
+      (List.map
+         (fun e -> Harness.Chaos.engine_of_string e)
+         (String.split_on_char ',' s))
+  with Invalid_argument m -> Error (`Msg m)
+
+let engines_conv =
+  Arg.conv
+    ( parse_engines,
+      fun ppf es ->
+        Format.fprintf ppf "%s"
+          (String.concat "," (List.map Harness.Chaos.engine_name es)) )
+
+let run_chaos engines seeds runs stress_domains stress_txns json =
+  let seeds = List.init seeds (fun i -> i + 1) in
+  Printf.printf
+    "## Chaos: %d seed(s)/engine, %d schedule(s)/seed, faults %s\n%!"
+    (List.length seeds) runs
+    (Stm_core.Faults.to_string Harness.Chaos.default_faults);
+  let results =
+    List.map
+      (fun e ->
+        let r =
+          Harness.Chaos.run_engine ~seeds ~runs_per_seed:runs ~stress_domains
+            ~stress_txns e
+        in
+        Printf.printf
+          "%-10s %s  schedules=%d commits=%d aborts=%d fallbacks=%d \
+           timeouts=%d injected=[%s]%s\n%!"
+          r.Harness.Chaos.engine
+          (if Harness.Chaos.ok r then "ok  " else "FAIL")
+          r.Harness.Chaos.schedules r.Harness.Chaos.stats.Stm_core.Stats.commits
+          r.Harness.Chaos.stats.Stm_core.Stats.aborts
+          r.Harness.Chaos.stats.Stm_core.Stats.fallbacks
+          r.Harness.Chaos.stats.Stm_core.Stats.timeouts
+          (String.concat " "
+             (List.map
+                (fun (k, n) ->
+                  Printf.sprintf "%s=%d" (Stm_core.Faults.kind_name k) n)
+                r.Harness.Chaos.injected))
+          (match r.Harness.Chaos.failed_seeds with
+          | [] -> ""
+          | l ->
+            "  failed_seeds="
+            ^ String.concat "," (List.map string_of_int l))
+        ;
+        r)
+      engines
+  in
+  (match json with
+  | None -> ()
+  | Some file ->
+    Harness.Report.write_file file (Harness.Chaos.report_json results);
+    Printf.printf "## wrote %s\n%!" file);
+  if List.for_all Harness.Chaos.ok results then 0 else 1
+
+let cmd =
+  let engines =
+    Arg.(value
+         & opt engines_conv Harness.Chaos.all_engines
+         & info [ "engine"; "e" ] ~docv:"LIST"
+             ~doc:"Comma-separated engines: oe, tl2, view, boost (default \
+                   all).")
+  in
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Number of fault seeds per engine (seeds 1..N).")
+  in
+  let runs =
+    Arg.(value & opt int 30 & info [ "runs"; "r" ] ~docv:"N"
+           ~doc:"Sampled schedules per seed.")
+  in
+  let stress_domains =
+    Arg.(value & opt int 4 & info [ "stress-domains" ] ~docv:"N"
+           ~doc:"Domains in the multi-domain stress run.")
+  in
+  let stress_txns =
+    Arg.(value & opt int 200 & info [ "stress-txns" ] ~docv:"N"
+           ~doc:"Transactions per domain in the stress run.")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write a machine-readable JSON chaos report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Model-check all STM engines under deterministic fault injection")
+    Term.(const run_chaos $ engines $ seeds $ runs $ stress_domains
+          $ stress_txns $ json)
+
+let () = exit (Cmd.eval' cmd)

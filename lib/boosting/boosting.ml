@@ -78,7 +78,20 @@ let acquire tx lock =
   let patience = 1_000 in
   let rec go n =
     Runtime.schedule_point_on (Runtime.Lock (Abstract_lock.id lock));
-    if Abstract_lock.try_acquire lock ~owner:tx.root_id then begin
+    (* Serial-irrevocable gate.  Boosting applies operations eagerly, so
+       the gate sits on lock acquisition (the engine's only wait point):
+       a transaction refused here rolls back via its undo log and releases
+       its abstract locks, letting the token holder proceed.  Transactions
+       that already hold every lock they need run to completion — that is
+       harmless, since boosting commits touch no shared STM metadata. *)
+    if not (Runtime.Serial.commit_allowed ()) then
+      Control.abort_tx Control.Killed;
+    (* An injected lock failure skips this round's acquisition attempt, so
+       it behaves exactly like contention: retry, then abort at patience. *)
+    if
+      (not (!Runtime.fault_injection && Faults.inject_lock_fail ()))
+      && Abstract_lock.try_acquire lock ~owner:tx.root_id
+    then begin
       if
         not
           (List.exists (fun l -> l == (lock : Abstract_lock.t)) tx.locks)

@@ -124,6 +124,10 @@ module Make (P : POLICY) : Stm_intf.S = struct
 
   let commit ctx =
     Runtime.schedule_point ();
+    (* Serial-irrevocable gate (see Retry_loop): abort rather than block so
+       any locks this transaction holds are released for the token holder. *)
+    if not (Runtime.Serial.commit_allowed ()) then
+      Control.abort_tx Control.Killed;
     if not (Rwsets.Wset.is_empty ctx.wset) then begin
       if not (Rwsets.Wset.lock_all ctx.wset ~owner:ctx.tx_id) then
         Control.abort_tx Control.Lock_contention;

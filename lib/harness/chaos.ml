@@ -1,0 +1,407 @@
+(** Chaos testing: model checks under deterministic fault injection.
+
+    For each engine (OE-STM, TL2, View-STM, boosting) and each seed, random
+    schedules from the deterministic scheduler run a small transfer
+    workload while {!Stm_core.Faults} injects spurious aborts, lock-acquire
+    failures, validation failures and delays.  Three properties are
+    checked, per schedule:
+
+    - {b isolation}: every transaction that reads all cells sees the
+      conserved total — a torn read under faults is a safety violation;
+    - {b conservation}: after all processes finish, the cells still sum to
+      the preloaded total;
+    - {b no escaping exceptions}: under the default configuration no
+      process may end with {!Stm_core.Control.Starvation} (or anything
+      else) — the serial-irrevocable fallback must absorb livelocks.
+
+    A dedicated high-rate scenario drives every engine into the fallback
+    (retry cap 1, near-certain injected aborts), so a chaos run also proves
+    the escalation path commits.  Finally a multi-domain stress run checks
+    conservation under real parallelism with faults enabled.
+
+    The module is shared by the [chaos] test suite and [bin/chaos.exe]
+    (which emits the JSON report CI archives). *)
+
+open Stm_core
+open Schedsim
+
+type engine = OE | TL2 | View | Boost
+
+let all_engines = [ OE; TL2; View; Boost ]
+
+let engine_name = function
+  | OE -> "OE-STM"
+  | TL2 -> "TL2"
+  | View -> "View-STM"
+  | Boost -> "boosting"
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "oe" | "oe-stm" | "oestm" -> OE
+  | "tl2" -> TL2
+  | "view" | "view-stm" | "viewstm" -> View
+  | "boost" | "boosting" -> Boost
+  | _ -> invalid_arg ("Chaos.engine_of_string: unknown engine " ^ s)
+
+(* Default chaos rates: every fault kind enabled, none so hot that honest
+   work cannot get through optimistically most of the time. *)
+let default_faults =
+  { Faults.default with
+    Faults.spurious_abort = 0.02;
+    lock_fail = 0.05;
+    validation_fail = 0.05;
+    delay = 0.02;
+    max_delay_spins = 8 }
+
+type engine_result = {
+  engine : string;
+  seeds : int list;
+  runs_per_seed : int;
+  schedules : int;       (** sampled schedules actually executed *)
+  failed_seeds : int list;  (** seeds with at least one failing schedule *)
+  stress_ok : bool;      (** multi-domain conservation held *)
+  stats : Stats.snapshot;   (** engine stats over the whole chaos run *)
+  injected : (Faults.kind * int) list;  (** faults injected, by kind *)
+}
+
+let ok r = r.failed_seeds = [] && r.stress_ok
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios for tvar-based engines                                    *)
+
+module Stm_chaos (S : Stm_intf.S) = struct
+  let cells = 4
+  let preload = 100
+  let total = cells * preload
+
+  (* Two processes, two transfers each.  Each transfer reads every cell
+     (isolation check), then moves one unit between two of them. *)
+  let scenario () =
+    let slot = ref (fun () -> true) in
+    { Explore.procs =
+        (fun () ->
+          let tvs = Array.init cells (fun _ -> S.tvar preload) in
+          let torn = ref false in
+          slot :=
+            (fun () ->
+              (not !torn)
+              && Array.fold_left (fun a tv -> a + S.peek tv) 0 tvs = total);
+          let proc i () =
+            for j = 0 to 1 do
+              let a = (i + j) mod cells in
+              let b = (a + 1 + i) mod cells in
+              let sum =
+                S.atomic (fun ctx ->
+                    let vals = Array.map (fun tv -> S.read ctx tv) tvs in
+                    let s = Array.fold_left ( + ) 0 vals in
+                    if a <> b then begin
+                      S.write ctx tvs.(a) (vals.(a) - 1);
+                      S.write ctx tvs.(b) (vals.(b) + 1)
+                    end;
+                    s)
+              in
+              if sum <> total then torn := true
+            done
+          in
+          [ proc 0; proc 1 ]);
+      check =
+        (fun outcome ->
+          match outcome.Sched.failures with
+          | _ :: _ -> false  (* nothing may escape, Starvation included *)
+          | [] -> if Sched.completed outcome then (!slot) () else true) }
+
+  (* One process, retry cap 1, near-certain injected aborts: the only way
+     to finish is through the serial fallback. *)
+  let fallback_scenario () =
+    let slot = ref (fun () -> true) in
+    { Explore.procs =
+        (fun () ->
+          let tv = S.tvar 0 in
+          slot := (fun () -> S.peek tv = 1);
+          [ (fun () ->
+              S.atomic (fun ctx -> S.write ctx tv (S.read ctx tv + 1))) ])
+      ;
+      check =
+        (fun outcome ->
+          match outcome.Sched.failures with
+          | _ :: _ -> false
+          | [] -> if Sched.completed outcome then (!slot) () else true) }
+
+  let sample_seed ~runs ~seed =
+    let sc = scenario () in
+    let r1 =
+      Explore.sample ~runs ~retry_cap:8 ~starvation_mode:`Fallback ~seed sc
+    in
+    let hot = { default_faults with Faults.spurious_abort = 0.9; seed } in
+    Faults.enable hot;
+    let r2 =
+      Fun.protect
+        ~finally:(fun () -> Faults.enable { default_faults with Faults.seed })
+        (fun () ->
+          Explore.sample ~runs:2 ~retry_cap:1 ~starvation_mode:`Fallback ~seed
+            (fallback_scenario ()))
+    in
+    (r1, r2)
+
+  (* Real-domain stress: [domains] workers, [txns] transfers each over a
+     shared array; the total is conserved iff every transfer was atomic. *)
+  let stress ~domains ~txns =
+    let n = 8 in
+    let tvs = Array.init n (fun _ -> S.tvar preload) in
+    let worker d () =
+      for j = 1 to txns do
+        let a = (d + j) mod n in
+        let b = (a + 1 + (j mod (n - 1))) mod n in
+        if a <> b then
+          S.atomic (fun ctx ->
+              let va = S.read ctx tvs.(a) in
+              let vb = S.read ctx tvs.(b) in
+              S.write ctx tvs.(a) (va - 1);
+              S.write ctx tvs.(b) (vb + 1))
+      done
+    in
+    let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+    List.iter Domain.join ds;
+    Array.fold_left (fun a tv -> a + S.peek tv) 0 tvs = n * preload
+
+  let run ~seeds ~runs_per_seed ~stress_domains ~stress_txns =
+    Stats.reset S.stats;
+    Faults.reset_counts ();
+    let failed = ref [] in
+    let schedules = ref 0 in
+    List.iter
+      (fun seed ->
+        Faults.enable { default_faults with Faults.seed };
+        let r1, r2 =
+          Fun.protect ~finally:Faults.disable (fun () ->
+              sample_seed ~runs:runs_per_seed ~seed)
+        in
+        let count = function
+          | Explore.All_ok { explored; _ } ->
+            schedules := !schedules + explored;
+            true
+          | Explore.Out_of_budget { explored; _ } ->
+            schedules := !schedules + explored;
+            true
+          | Explore.Violation { explored; _ } ->
+            schedules := !schedules + explored;
+            false
+        in
+        let ok1 = count r1 in
+        let ok2 = count r2 in
+        if not (ok1 && ok2) then failed := seed :: !failed)
+      seeds;
+    let stress_ok =
+      Faults.enable { default_faults with Faults.seed = List.nth seeds 0 };
+      Fun.protect ~finally:Faults.disable (fun () ->
+          stress ~domains:stress_domains ~txns:stress_txns)
+    in
+    { engine = S.name;
+      seeds;
+      runs_per_seed;
+      schedules = !schedules;
+      failed_seeds = List.rev !failed;
+      stress_ok;
+      stats = Stats.snapshot S.stats;
+      injected = Faults.counts () }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Boosting scenario                                                   *)
+
+module Boost_chaos = struct
+  module Base = Seqds.Hash (Seqds.Int_key)
+
+  module BSet =
+    Boosting.Boost
+      (struct
+        type elt = int
+        type t = Base.t
+
+        let create () = Base.create ()
+        let contains = Base.contains
+        let add = Base.add
+        let remove = Base.remove
+      end)
+      (struct
+        let hash = Seqds.Int_key.hash
+      end)
+
+  (* One process inserts pairs atomically; the other must never observe
+     half a pair.  Conservation: both pairs complete in the end. *)
+  let scenario () =
+    let slot = ref (fun () -> true) in
+    { Explore.procs =
+        (fun () ->
+          let s = BSet.create ~stripes:4 () in
+          let half_pair = ref false in
+          slot :=
+            (fun () ->
+              (not !half_pair)
+              && BSet.contains s 0 && BSet.contains s 1 && BSet.contains s 2
+              && BSet.contains s 3);
+          [ (fun () ->
+              ignore (BSet.add_all s [ 0; 1 ]);
+              ignore (BSet.add_all s [ 2; 3 ]));
+            (fun () ->
+              for _ = 1 to 2 do
+                let seen =
+                  Boosting.atomic (fun _ ->
+                      (Bool.to_int (BSet.contains s 0), Bool.to_int (BSet.contains s 1)))
+                in
+                match seen with
+                | 1, 0 | 0, 1 -> half_pair := true
+                | _ -> ()
+              done) ]);
+      check =
+        (fun outcome ->
+          match outcome.Sched.failures with
+          | _ :: _ -> false
+          | [] -> if Sched.completed outcome then (!slot) () else true) }
+
+  let fallback_scenario () =
+    let slot = ref (fun () -> true) in
+    { Explore.procs =
+        (fun () ->
+          let s = BSet.create ~stripes:2 () in
+          slot := (fun () -> BSet.contains s 7);
+          [ (fun () -> ignore (BSet.add s 7)) ]);
+      check =
+        (fun outcome ->
+          match outcome.Sched.failures with
+          | _ :: _ -> false
+          | [] -> if Sched.completed outcome then (!slot) () else true) }
+
+  let sample_seed ~runs ~seed =
+    let r1 =
+      Explore.sample ~runs ~retry_cap:8 ~starvation_mode:`Fallback ~seed
+        (scenario ())
+    in
+    let hot = { default_faults with Faults.spurious_abort = 0.9; seed } in
+    Faults.enable hot;
+    let r2 =
+      Fun.protect
+        ~finally:(fun () -> Faults.enable { default_faults with Faults.seed })
+        (fun () ->
+          Explore.sample ~runs:2 ~retry_cap:1 ~starvation_mode:`Fallback ~seed
+            (fallback_scenario ()))
+    in
+    (r1, r2)
+
+  let stress ~domains ~txns =
+    let s = BSet.create () in
+    let worker d () =
+      for i = 0 to txns - 1 do
+        let base = 2 * ((d * txns) + i) in
+        ignore (BSet.add_all s [ base; base + 1 ])
+      done
+    in
+    let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+    List.iter Domain.join ds;
+    let ok = ref true in
+    for d = 0 to domains - 1 do
+      for i = 0 to txns - 1 do
+        let base = 2 * ((d * txns) + i) in
+        if not (BSet.contains s base && BSet.contains s (base + 1)) then
+          ok := false
+      done
+    done;
+    !ok
+
+  let run ~seeds ~runs_per_seed ~stress_domains ~stress_txns =
+    Stats.reset Boosting.stats;
+    Faults.reset_counts ();
+    let failed = ref [] in
+    let schedules = ref 0 in
+    List.iter
+      (fun seed ->
+        Faults.enable { default_faults with Faults.seed };
+        let r1, r2 =
+          Fun.protect ~finally:Faults.disable (fun () ->
+              sample_seed ~runs:runs_per_seed ~seed)
+        in
+        let count = function
+          | Explore.All_ok { explored; _ } | Explore.Out_of_budget { explored; _ }
+            ->
+            schedules := !schedules + explored;
+            true
+          | Explore.Violation { explored; _ } ->
+            schedules := !schedules + explored;
+            false
+        in
+        let ok1 = count r1 in
+        let ok2 = count r2 in
+        if not (ok1 && ok2) then failed := seed :: !failed)
+      seeds;
+    let stress_ok =
+      Faults.enable { default_faults with Faults.seed = List.nth seeds 0 };
+      Fun.protect ~finally:Faults.disable (fun () ->
+          stress ~domains:stress_domains ~txns:stress_txns)
+    in
+    { engine = "boosting";
+      seeds;
+      runs_per_seed;
+      schedules = !schedules;
+      failed_seeds = List.rev !failed;
+      stress_ok;
+      stats = Stats.snapshot Boosting.stats;
+      injected = Faults.counts () }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+module Oe_chaos = Stm_chaos (Oestm.Oe)
+module Tl2_chaos = Stm_chaos (Classic_stm.Tl2)
+module View_chaos = Stm_chaos (Viewstm.V)
+
+let default_seeds = List.init 20 (fun i -> i + 1)
+
+let run_engine ?(seeds = default_seeds) ?(runs_per_seed = 30)
+    ?(stress_domains = 4) ?(stress_txns = 200) engine =
+  if seeds = [] then invalid_arg "Chaos.run_engine: empty seed list";
+  let run =
+    match engine with
+    | OE -> Oe_chaos.run
+    | TL2 -> Tl2_chaos.run
+    | View -> View_chaos.run
+    | Boost -> Boost_chaos.run
+  in
+  run ~seeds ~runs_per_seed ~stress_domains ~stress_txns
+
+let run_all ?seeds ?runs_per_seed ?stress_domains ?stress_txns () =
+  List.map
+    (fun e -> run_engine ?seeds ?runs_per_seed ?stress_domains ?stress_txns e)
+    all_engines
+
+(* ------------------------------------------------------------------ *)
+(* JSON report                                                         *)
+
+let engine_to_json (r : engine_result) =
+  Report.Obj
+    [ ("engine", Report.Str r.engine);
+      ("seeds", Report.List (List.map (fun s -> Report.Int s) r.seeds));
+      ("runs_per_seed", Report.Int r.runs_per_seed);
+      ("schedules", Report.Int r.schedules);
+      ("ok", Report.Bool (ok r));
+      ( "failed_seeds",
+        Report.List (List.map (fun s -> Report.Int s) r.failed_seeds) );
+      ("stress_ok", Report.Bool r.stress_ok);
+      ("commits", Report.Int r.stats.Stats.commits);
+      ("aborts", Report.Int r.stats.Stats.aborts);
+      ("starvations", Report.Int r.stats.Stats.starvations);
+      ("fallbacks", Report.Int r.stats.Stats.fallbacks);
+      ("timeouts", Report.Int r.stats.Stats.timeouts);
+      ( "injected",
+        Report.Obj
+          (List.map
+             (fun (k, n) -> (Faults.kind_name k, Report.Int n))
+             r.injected) ) ]
+
+let report_json (results : engine_result list) =
+  Report.Obj
+    [ ("schema_version", Report.Int Report.schema_version);
+      ("kind", Report.Str "chaos");
+      ( "faults",
+        Report.Str (Faults.to_string default_faults) );
+      ("engines", Report.List (List.map engine_to_json results)) ]

@@ -6,7 +6,10 @@
     benchmark schema:
 
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
+      "config": { "cm": ..., "retry_cap": ..., "starvation_mode": ...,
+                  "tx_timeout_ns": ..., "backoff_init": ..., "backoff_max": ...,
+                  "faults": null | { "spec": ..., rates..., "injected": {...} } },
       "figures": [
         { "figure": "6a", "title": ..., "workload": {...},
           "seed": ..., "runs": ..., "duration_s": ...,
@@ -16,6 +19,7 @@
               "points": [
                 { "threads": ..., "ops_per_ms": ..., "abort_rate": ...,
                   "total_ops": ..., "commits": ..., "aborts": ...,
+                  "starvations": ..., "fallbacks": ..., "timeouts": ...,
                   "elapsed_ms": ..., "runs": ...,
                   "aborts_by_reason": { "<reason>": n, ... },
                   "commit_latency_ns":  {"count", "p50", "p90", "p99", "max"},
@@ -286,7 +290,7 @@ let member key = function
 (* ------------------------------------------------------------------ *)
 (* Benchmark schema                                                    *)
 
-let schema_version = 1
+let schema_version = 2
 
 let hist_summary (h : Stm_core.Stats.Hist.snapshot) =
   let module H = Stm_core.Stats.Hist in
@@ -300,6 +304,9 @@ let hist_summary (h : Stm_core.Stats.Hist.snapshot) =
 let snapshot_fields (s : Stm_core.Stats.snapshot) =
   [ ("commits", Int s.Stm_core.Stats.commits);
     ("aborts", Int s.Stm_core.Stats.aborts);
+    ("starvations", Int s.Stm_core.Stats.starvations);
+    ("fallbacks", Int s.Stm_core.Stats.fallbacks);
+    ("timeouts", Int s.Stm_core.Stats.timeouts);
     ( "aborts_by_reason",
       Obj
         (List.map
@@ -342,7 +349,47 @@ let figure_to_json (r : Figures.figure_result) =
       ("threads", List (List.map (fun t -> Int t) r.Figures.threads));
       ("series", List (List.map series_to_json r.Figures.series)) ]
 
+(* Runtime configuration snapshot: which contention manager, retry cap,
+   backoff parameters and fault-injection settings produced the numbers.
+   Read at report-generation time, so it reflects what the CLIs set. *)
+let config_to_json () =
+  let init, max_window = Stm_core.Backoff.defaults () in
+  let faults =
+    match Stm_core.Faults.current () with
+    | None -> Null
+    | Some c ->
+      Obj
+        ([ ("spec", Str (Stm_core.Faults.to_string c));
+           ("seed", Int c.Stm_core.Faults.seed);
+           ("spurious_abort", Float c.Stm_core.Faults.spurious_abort);
+           ("lock_fail", Float c.Stm_core.Faults.lock_fail);
+           ("validation_fail", Float c.Stm_core.Faults.validation_fail);
+           ("delay", Float c.Stm_core.Faults.delay);
+           ("max_delay_spins", Int c.Stm_core.Faults.max_delay_spins) ]
+        @ [ ( "injected",
+              Obj
+                (List.map
+                   (fun (k, n) -> (Stm_core.Faults.kind_name k, Int n))
+                   (Stm_core.Faults.counts ())) ) ])
+  in
+  Obj
+    [ ("cm", Str (Stm_core.Cm.policy_name (Stm_core.Cm.current_policy ())));
+      ("retry_cap", Int !Stm_core.Runtime.retry_cap);
+      ( "starvation_mode",
+        Str
+          (match !Stm_core.Runtime.starvation_mode with
+          | `Raise -> "raise"
+          | `Fallback -> "fallback") );
+      ( "tx_timeout_ns",
+        match !Stm_core.Runtime.tx_timeout_ns with
+        | None -> Null
+        | Some ns -> Int ns );
+      ("backoff_init", Int init);
+      ("backoff_max", Int max_window);
+      ("faults", faults) ]
+
 let report (results : Figures.figure_result list) =
   Obj
     [ ("schema_version", Int schema_version);
+      ("config", config_to_json ());
       ("figures", List (List.map figure_to_json results)) ]

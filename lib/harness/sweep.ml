@@ -25,10 +25,22 @@ type point = {
   stats : Stm_core.Stats.snapshot;  (** accumulated over runs *)
 }
 
-let run_point ?(detailed = false) (module T : Target.TARGET) ~cfg ~threads
-    ~duration ~runs ~seed =
+let run_point ?(detailed = false) ?cm ?faults (module T : Target.TARGET) ~cfg
+    ~threads ~duration ~runs ~seed =
   let was_detailed = Stm_core.Stats.detailed_enabled () in
+  let saved_policy = Stm_core.Cm.current_policy () in
+  let saved_faults = Stm_core.Faults.current () in
   Stm_core.Stats.set_detailed detailed;
+  (match cm with Some p -> Stm_core.Cm.set_policy p | None -> ());
+  (match faults with Some c -> Stm_core.Faults.enable c | None -> ());
+  let restore () =
+    Stm_core.Stats.set_detailed was_detailed;
+    Stm_core.Cm.set_policy saved_policy;
+    if Option.is_some faults then
+      match saved_faults with
+      | Some c -> Stm_core.Faults.enable c
+      | None -> Stm_core.Faults.disable ()
+  in
   let one_run run_idx =
     T.setup cfg;
     T.reset_stats ();
@@ -67,8 +79,9 @@ let run_point ?(detailed = false) (module T : Target.TARGET) ~cfg ~threads
     let ops = Array.fold_left ( + ) 0 ops_done in
     (ops, elapsed_ms, T.abort_snapshot ())
   in
-  let results = List.init runs one_run in
-  Stm_core.Stats.set_detailed was_detailed;
+  let results =
+    Fun.protect ~finally:restore (fun () -> List.init runs one_run)
+  in
   let total_ops = List.fold_left (fun a (n, _, _) -> a + n) 0 results in
   let elapsed_ms = List.fold_left (fun a (_, ms, _) -> a +. ms) 0.0 results in
   let snap =
@@ -92,11 +105,11 @@ let run_point ?(detailed = false) (module T : Target.TARGET) ~cfg ~threads
     stats = snap }
 
 (** One series: the same target across the thread axis. *)
-let run_series ?detailed (module T : Target.TARGET) ~cfg ~threads ~duration
-    ~runs ~seed =
+let run_series ?detailed ?cm ?faults (module T : Target.TARGET) ~cfg ~threads
+    ~duration ~runs ~seed =
   List.map
     (fun n ->
-      run_point ?detailed
+      run_point ?detailed ?cm ?faults
         (module T : Target.TARGET)
         ~cfg ~threads:n ~duration ~runs ~seed)
     threads

@@ -275,6 +275,11 @@ module Make (C : CONFIG) : S_EXT = struct
 
   let commit_root ctx =
     Runtime.schedule_point ();
+    (* Serial-irrevocable gate: while another process holds the fallback
+       token, no one else may commit.  Abort (not block): blocking here
+       would keep our write locks held and deadlock the token holder. *)
+    if not (Runtime.Serial.commit_allowed ()) then
+      Control.abort_tx Control.Killed;
     let owner = ctx.root.root_tx in
     if Rwsets.Wset.is_empty ctx.root.wset then begin
       (* Read-only.  A lone elastic transaction needs no commit validation

@@ -61,6 +61,7 @@ val sample :
   ?runs:int ->
   ?max_steps:int ->
   ?retry_cap:int ->
+  ?starvation_mode:[ `Raise | `Fallback ] ->
   ?seed:int ->
   scenario ->
   result
@@ -68,6 +69,12 @@ val sample :
     tree is too large to exhaust: each run draws scheduling decisions from
     a seeded PRNG.  [All_ok] here means "no violation in [runs] samples",
     not a proof.  A returned violation's schedule replays through
-    {!Sched.run_schedule} exactly like the exhaustive explorer's. *)
+    {!Sched.run_schedule} exactly like the exhaustive explorer's.
+
+    [starvation_mode] (default [`Raise], like {!explore}) controls what a
+    process hitting [retry_cap] does: [`Raise] prunes the schedule via
+    {!Control.Starvation}; [`Fallback] lets it escalate to the
+    serial-irrevocable mode instead, which the chaos suite uses to drive
+    the fallback path under random schedules. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,4 +1,4 @@
-(** Randomised exponential backoff used by the contention manager.
+(** Randomised exponential backoff used by the contention managers.
 
     Each transaction attempt carries a backoff state; after an abort the
     transaction waits for a random number of relaxation steps drawn from an
@@ -8,15 +8,37 @@
 
 type t
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?init:int -> ?max_window:int -> unit -> t
+(** [init] and [max_window] default to the process-wide defaults
+    ({!set_defaults}), themselves 16 and {!max_window} until changed. *)
+
 val reset : t -> unit
+(** Restore the instance's initial window. *)
 
 val once : t -> unit
 (** Wait once and widen the window. *)
 
+val grow : t -> unit
+(** Widen the window without waiting — for contention managers that
+    compute their own wait from the window. *)
+
+val wait : t -> int -> unit
+(** Relax for the given number of steps (a scheduling point under the
+    deterministic scheduler) without touching the window. *)
+
 val window : t -> int
-(** Current window size, for tests and diagnostics.  Starts at 16,
-    doubles on every {!once} and never exceeds [max_window]. *)
+(** Current window size, for tests and diagnostics.  Starts at the
+    instance's initial window, doubles on every {!once} and never exceeds
+    its cap. *)
 
 val max_window : int
-(** Upper bound on the window (2{^14} relaxation steps). *)
+(** Factory-default upper bound on the window (2{^14} relaxation steps). *)
+
+val set_defaults : ?init:int -> ?max_window:int -> unit -> unit
+(** Change the process-wide default initial window and cap used by
+    {!create} when not given explicitly (the benchmark CLIs' --backoff-init
+    and --backoff-max).  Raises [Invalid_argument] on a non-positive [init]
+    or a cap below the current default [init]. *)
+
+val defaults : unit -> int * int
+(** Current (init, max_window) defaults. *)

@@ -1,0 +1,90 @@
+(* Pluggable contention management.
+
+   One [t] accompanies each toplevel [atomic] call through its retry loop.
+   The policy decides how long an aborted attempt waits before retrying:
+
+   - [Backoff]: randomised exponential backoff (the historical default).
+     Fair on average, but a transaction that keeps losing waits longer and
+     longer — exactly the wrong shape for a starving victim.
+
+   - [Karma]: aborts accumulate priority, and accumulated priority divides
+     the wait.  A transaction that has already lost a lot of work retries
+     almost immediately while fresh transactions still back off, which
+     breaks the "big reader always loses to small writers" starvation
+     pattern without any global coordination.
+
+   - [Timestamp]: the wait grows linearly (not exponentially) with the
+     attempt number, and the transaction keeps its original birth
+     timestamp, which the retry loop uses for deadline accounting.
+     Greybeards wait politely but never fall off the exponential cliff.
+
+   Whatever the policy, liveness does not depend on it: the retry loop
+   escalates to the serial-irrevocable fallback at the retry cap. *)
+
+type policy = Backoff | Karma | Timestamp
+
+let policy_name = function
+  | Backoff -> "backoff"
+  | Karma -> "karma"
+  | Timestamp -> "timestamp"
+
+let all_policies = [ Backoff; Karma; Timestamp ]
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "backoff" -> Backoff
+  | "karma" -> Karma
+  | "timestamp" -> Timestamp
+  | _ -> invalid_arg ("Cm.policy_of_string: unknown policy " ^ s)
+
+(* Process-wide default policy used when [Retry_loop] builds the manager
+   itself; the benchmark CLIs set it from --cm. *)
+let default_policy = ref Backoff
+let set_policy p = default_policy := p
+let current_policy () = !default_policy
+
+type t = {
+  policy : policy;
+  backoff : Backoff.t;
+  mutable priority : int;  (* Karma: aborts survived by this transaction *)
+  mutable birth_ns : int64;  (* Timestamp: first-attempt wall-clock *)
+}
+
+let create ?policy ?(seed = 0) () =
+  let policy = Option.value policy ~default:!default_policy in
+  { policy; backoff = Backoff.create ~seed (); priority = 0;
+    birth_ns = Mclock.now_ns () }
+
+let policy t = t.policy
+let window t = Backoff.window t.backoff
+let priority t = t.priority
+let birth_ns t = t.birth_ns
+
+let pre_attempt t ~attempt =
+  if attempt = 0 then begin
+    (* A fresh transaction, not a retry: restart the clock.  [birth_ns] is
+       deliberately NOT refreshed on retries — the whole point of the
+       Timestamp policy (and of deadline accounting) is that age is
+       measured from the first attempt. *)
+    t.birth_ns <- Mclock.now_ns ()
+  end
+
+let on_abort t ~attempt (_reason : Control.reason) =
+  match t.policy with
+  | Backoff -> Backoff.once t.backoff
+  | Karma ->
+    t.priority <- t.priority + 1;
+    (* Priority divides the wait: a transaction that has lost [p] attempts
+       waits a (p+1)-th of the current window, then the window still grows
+       so that two equally-starved rivals keep separating. *)
+    Backoff.wait t.backoff (Backoff.window t.backoff / (t.priority + 1));
+    Backoff.grow t.backoff
+  | Timestamp ->
+    (* Linear, not exponential: attempt [n] waits n * init steps, capped by
+       the instance's window ceiling via [window] growth below. *)
+    let init, cap = Backoff.defaults () in
+    Backoff.wait t.backoff (min cap (init * (attempt + 1)))
+
+let on_commit t =
+  Backoff.reset t.backoff;
+  t.priority <- 0

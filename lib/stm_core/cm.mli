@@ -1,0 +1,50 @@
+(** Pluggable contention management for the retry loop.
+
+    A contention manager decides how an aborted attempt waits before
+    retrying.  It is advisory: progress never depends on the policy,
+    because {!Retry_loop} escalates to the serial-irrevocable fallback
+    ({!Runtime.Serial}) when {!Runtime.retry_cap} is exhausted. *)
+
+type policy =
+  | Backoff    (** randomised exponential backoff (default) *)
+  | Karma      (** accumulated aborts shorten the wait, so starving
+                   transactions retry aggressively *)
+  | Timestamp  (** linear window growth; the transaction keeps its original
+                   birth timestamp for age/deadline accounting *)
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy
+(** Case-insensitive; raises [Invalid_argument] on unknown names. *)
+
+val all_policies : policy list
+
+val set_policy : policy -> unit
+(** Set the process-wide default policy used when {!Retry_loop} constructs
+    the manager itself (the benchmark CLIs' [--cm]). *)
+
+val current_policy : unit -> policy
+
+type t
+(** Per-transaction state: backoff window, accumulated priority, birth
+    timestamp. *)
+
+val create : ?policy:policy -> ?seed:int -> unit -> t
+(** [policy] defaults to {!current_policy}. *)
+
+val policy : t -> policy
+
+val pre_attempt : t -> attempt:int -> unit
+(** Called before every attempt; attempt 0 stamps the birth time. *)
+
+val on_abort : t -> attempt:int -> Control.reason -> unit
+(** Called after attempt [attempt] aborted; performs the policy's wait. *)
+
+val on_commit : t -> unit
+(** Called after a successful commit; resets window and priority so the
+    instance can be reused. *)
+
+(** {1 Introspection (tests, diagnostics)} *)
+
+val window : t -> int
+val priority : t -> int
+val birth_ns : t -> int64

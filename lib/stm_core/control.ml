@@ -7,9 +7,11 @@ type reason =
   | Lock_contention
   | Killed
   | Explicit
+  | Injected
 
 exception Abort_tx of reason
 exception Starvation of string
+exception Timeout of string
 
 let abort_tx r = raise (Abort_tx r)
 
@@ -22,6 +24,7 @@ let reason_to_string = function
   | Lock_contention -> "lock-contention"
   | Killed -> "killed"
   | Explicit -> "explicit"
+  | Injected -> "injected"
 
 let reason_index = function
   | Read_locked -> 0
@@ -32,9 +35,10 @@ let reason_index = function
   | Lock_contention -> 5
   | Killed -> 6
   | Explicit -> 7
+  | Injected -> 8
 
-let reason_count = 8
+let reason_count = 9
 
 let all_reasons =
   [ Read_locked; Read_inconsistent; Read_too_new; Window_invalid;
-    Validation_failed; Lock_contention; Killed; Explicit ]
+    Validation_failed; Lock_contention; Killed; Explicit; Injected ]

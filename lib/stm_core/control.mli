@@ -12,8 +12,10 @@ type reason =
   | Window_invalid       (** elastic window validation failed (cut impossible) *)
   | Validation_failed    (** commit-time read-set validation failed *)
   | Lock_contention      (** could not acquire a write lock *)
-  | Killed               (** aborted by the contention manager *)
+  | Killed               (** aborted by the contention manager or by the
+                             serial-irrevocable gate *)
   | Explicit             (** user requested the abort *)
+  | Injected             (** spurious abort injected by {!Faults} *)
 
 exception Abort_tx of reason
 (** Raised to abort the current transaction attempt.  Caught only by the
@@ -21,8 +23,16 @@ exception Abort_tx of reason
 
 exception Starvation of string
 (** Raised when a transaction exceeds the configured retry cap
-    ({!Runtime.retry_cap}); used by the deterministic scheduler to prune
-    livelocking interleavings. *)
+    ({!Runtime.retry_cap}) {e and} {!Runtime.starvation_mode} is [`Raise];
+    used by the deterministic scheduler to prune livelocking interleavings.
+    Under the default [`Fallback] mode the retry loop escalates to the
+    serial-irrevocable fallback instead, so this exception cannot escape. *)
+
+exception Timeout of string
+(** Raised when a transaction's deadline ({!Runtime.tx_timeout_ns}) expires
+    before it manages to commit.  Never raised when no timeout is
+    configured (the default): the retry loop then retries, and eventually
+    serialises, until the transaction commits. *)
 
 val abort_tx : reason -> 'a
 (** Raise {!Abort_tx}. *)

@@ -1,0 +1,76 @@
+(** Deterministic fault injection for robustness testing.
+
+    When enabled, a seeded PRNG perturbs the STM machinery at its natural
+    choice points: scheduling points may delay or spuriously abort the
+    running attempt, versioned-lock acquisitions may be refused, read-set
+    validations may be failed.  All perturbations surface through paths the
+    engines already handle (an abort reason, a failed [try_lock], a failed
+    validation), so a correct engine must stay linearizable under any fault
+    schedule — which is exactly what the chaos suite checks.
+
+    Injection happens only inside transaction attempts (see
+    {!enter_attempt}) and never while the serial-irrevocable fallback token
+    is held, so escalated transactions still commit and the no-starvation
+    guarantee survives arbitrary fault rates. *)
+
+type config = {
+  seed : int;
+  spurious_abort : float;   (** abort probability per scheduling point *)
+  lock_fail : float;        (** refusal probability per lock acquisition *)
+  validation_fail : float;  (** failure probability per read-set validation *)
+  delay : float;            (** delay probability per scheduling point *)
+  max_delay_spins : int;    (** upper bound on one injected delay *)
+}
+
+val default : config
+(** Seed 1, all rates zero, 64 max delay spins. *)
+
+val parse : string -> config
+(** Parse a CLI spec like ["seed=7,abort=0.01,lock=0.05,validate=0.05,delay=0.01,spins=64"].
+    Unmentioned fields keep their {!default}.  Raises [Invalid_argument] on
+    unknown keys or rates outside [0, 1]. *)
+
+val to_string : config -> string
+
+val enable : config -> unit
+(** Install the injector (reseeding the PRNG from [config.seed]) and set
+    {!Runtime.fault_injection}. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+val current : unit -> config option
+
+val reseed : int -> unit
+(** Reset the PRNG stream without touching the rates.  Raises
+    [Invalid_argument] while disabled. *)
+
+(** {1 Injected-fault accounting} *)
+
+type kind = Spurious_abort | Lock_fail | Validation_fail | Delay
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val count : kind -> int
+val counts : unit -> (kind * int) list
+val reset_counts : unit -> unit
+
+(** {1 Injection points} — called by the STM machinery. *)
+
+val point : unit -> unit
+(** The scheduling-point injector ({!Runtime.fault_hook}): may spin-delay
+    and may raise {!Control.Abort_tx} with reason {!Control.Injected}. *)
+
+val inject_lock_fail : unit -> bool
+(** [true]: the caller must treat this lock acquisition as failed.
+    Consulted by {!Vlock.try_lock} (and the boosting lock table). *)
+
+val inject_validation_fail : unit -> bool
+(** [true]: the caller must treat this read-set validation as failed.
+    Consulted by {!Rwsets.Rset.validate}. *)
+
+val enter_attempt : unit -> unit
+(** Mark the current process as inside a transaction attempt; set by
+    {!Retry_loop} around each attempt.  Without it no fault fires, keeping
+    contention-manager waits and non-transactional code unperturbed. *)
+
+val leave_attempt : unit -> unit

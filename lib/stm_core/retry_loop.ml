@@ -1,24 +1,100 @@
-let run ~stats f =
-  let backoff = Backoff.create ~seed:(Runtime.fresh_tx_id ()) () in
+let starvation_msg = "transaction exceeded retry cap"
+
+let run ?cm ~stats f =
+  let cm =
+    match cm with
+    | Some cm -> cm
+    | None -> Cm.create ~seed:(Runtime.fresh_tx_id ()) ()
+  in
   (* Read the flag once per transaction: a mid-transaction toggle may miss
      this loop, but the flag is only flipped between benchmark phases. *)
   let detailed = Stats.detailed_enabled () in
-  let rec attempt n =
-    if n > !Runtime.retry_cap then
-      raise (Control.Starvation "transaction exceeded retry cap");
+  let deadline_expired () =
+    match !Runtime.tx_timeout_ns with
+    | None -> false
+    | Some budget -> Mclock.elapsed_ns (Cm.birth_ns cm) > budget
+  in
+  let timeout () =
+    Stats.record_timeout stats;
+    raise (Control.Timeout "transaction deadline expired")
+  in
+  (* One full attempt of [f], bracketed by the fault injector's in-attempt
+     flag and fed into the stats.  Returns the commit result or the abort
+     reason; any other exception propagates to the caller. *)
+  let call_attempt n =
     let t0 = if detailed then Mclock.now_ns () else 0L in
+    let fi = !Runtime.fault_injection in
+    if fi then Faults.enter_attempt ();
     match f ~attempt:n with
     | result ->
+      if fi then Faults.leave_attempt ();
       Stats.record_commit stats;
       if detailed then begin
         Stats.record_commit_latency stats (Mclock.elapsed_ns t0);
         Stats.record_retry_depth stats n
       end;
-      result
+      Ok result
     | exception Control.Abort_tx reason ->
+      if fi then Faults.leave_attempt ();
       Stats.record_abort stats reason;
       if detailed then Stats.record_abort_latency stats (Mclock.elapsed_ns t0);
-      Backoff.once backoff;
-      attempt (n + 1)
+      Error reason
+    | exception e ->
+      if fi then Faults.leave_attempt ();
+      raise e
   in
-  attempt 0
+  (* Serial-irrevocable fallback: take the global token, then retry until
+     commit.  With the token held no other process can commit (the engines'
+     serial gates abort them), so the clock stops advancing, straggler
+     locks drain, and fault injection is suppressed — the next attempts
+     face strictly less interference until one validates.  Only a deadline
+     can stop the loop. *)
+  let escalate n =
+    Stats.record_fallback stats;
+    if not (Runtime.Serial.enter ~giveup:deadline_expired ()) then timeout ();
+    Fun.protect ~finally:Runtime.Serial.exit (fun () ->
+      let rec go n =
+        if deadline_expired () then timeout ();
+        match call_attempt n with Ok r -> r | Error _ -> go (n + 1)
+      in
+      go n)
+  in
+  let rec attempt n =
+    Cm.pre_attempt cm ~attempt:n;
+    if deadline_expired () then timeout ();
+    if n > !Runtime.retry_cap then begin
+      (* Only reachable with a negative cap: a cap exhausted by aborts is
+         handled below, before the wait. *)
+      Stats.record_starvation stats;
+      match !Runtime.starvation_mode with
+      | `Raise -> raise (Control.Starvation starvation_msg)
+      | `Fallback -> escalate n
+    end
+    else begin
+      (* Park while some other transaction runs serially: our commit would
+         be refused anyway, so don't burn an attempt on it. *)
+      if Runtime.Serial.active () && not (Runtime.Serial.mine ()) then
+        if not (Runtime.Serial.await_clear ~giveup:deadline_expired ()) then
+          timeout ();
+      match call_attempt n with
+      | Ok r -> r
+      | Error reason ->
+        if n + 1 > !Runtime.retry_cap then begin
+          (* The cap is exhausted.  No contention-manager wait here: under
+             [`Fallback] the escalating attempt must run immediately (it is
+             about to serialise the world; delaying it only lengthens the
+             stop), and under [`Raise] the caller wants the exception. *)
+          Stats.record_starvation stats;
+          match !Runtime.starvation_mode with
+          | `Raise -> raise (Control.Starvation starvation_msg)
+          | `Fallback -> escalate (n + 1)
+        end
+        else begin
+          Cm.on_abort cm ~attempt:n reason;
+          attempt (n + 1)
+        end
+    end
+  in
+  let result = attempt 0 in
+  Cm.on_commit cm;
+  result

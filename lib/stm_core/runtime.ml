@@ -21,9 +21,20 @@ let pp_access ppf = function
 let proc_hook = ref (fun () -> (Domain.self () :> int))
 let current_proc () = !proc_hook ()
 
+(* Fault injection.  [Faults] installs its injector here; the flag keeps the
+   hot path at one load-and-branch while no faults are configured. *)
+let fault_injection = ref false
+let fault_hook : (unit -> unit) ref = ref (fun () -> ())
+
 let yield_hook : (access -> unit) ref = ref (fun _ -> ())
-let schedule_point () = !yield_hook Pure
-let schedule_point_on a = !yield_hook a
+
+let schedule_point () =
+  if !fault_injection then !fault_hook ();
+  !yield_hook Pure
+
+let schedule_point_on a =
+  if !fault_injection then !fault_hook ();
+  !yield_hook a
 
 let simulated = ref false
 
@@ -37,7 +48,52 @@ let tracing = ref false
 let trace_hook : (access -> unit) ref = ref (fun _ -> ())
 let trace_access a = !trace_hook a
 
-let retry_cap = ref max_int
+let retry_cap = ref 64
+
+let starvation_mode : [ `Raise | `Fallback ] ref = ref `Fallback
+
+let tx_timeout_ns : int option ref = ref None
+
+(* Serial-irrevocable mode: a single global token whose holder is the only
+   logical process allowed to commit.  The retry loop enters it when a
+   transaction exhausts its retry cap; every engine's commit path checks
+   [commit_allowed] and aborts (releasing its locks) when another process
+   holds the token, and new attempts park in [await_clear].  With no
+   concurrent commits the clock cannot advance and locks drain, so the
+   holder's next attempt validates trivially — it commits after at most the
+   in-flight stragglers finish. *)
+module Serial = struct
+  let holder = Atomic.make (-1)
+
+  let active () = Atomic.get holder >= 0
+  let mine () = Atomic.get holder = current_proc ()
+
+  let commit_allowed () =
+    let h = Atomic.get holder in
+    h < 0 || h = current_proc ()
+
+  let relax () = if !simulated then schedule_point () else Domain.cpu_relax ()
+
+  let rec enter ?(giveup = fun () -> false) () =
+    if Atomic.compare_and_set holder (-1) (current_proc ()) then true
+    else if giveup () then false
+    else begin
+      relax ();
+      enter ~giveup ()
+    end
+
+  let exit () =
+    ignore (Atomic.compare_and_set holder (current_proc ()) (-1))
+
+  let rec await_clear ?(giveup = fun () -> false) () =
+    let h = Atomic.get holder in
+    if h < 0 || h = current_proc () then true
+    else if giveup () then false
+    else begin
+      relax ();
+      await_clear ~giveup ()
+    end
+end
 
 (* Identifier supplies.  Outside the deterministic scheduler these are
    global atomic counters.  Under simulation, ids are drawn from per-process

@@ -36,6 +36,15 @@ val yield_hook : (access -> unit) ref
     the access about to be performed.  Default: no-op.  The deterministic
     scheduler installs its context switch here. *)
 
+val fault_injection : bool ref
+(** Owned by {!Faults}: set while a fault-injection configuration is
+    active.  Scheduling points consult it before calling {!fault_hook}, so
+    the uninstrumented hot path pays one load and branch. *)
+
+val fault_hook : (unit -> unit) ref
+(** The injector {!Faults} installs; invoked at every scheduling point
+    while {!fault_injection} is set.  May raise {!Control.Abort_tx}. *)
+
 val schedule_point : unit -> unit
 (** Invoke the yield hook with a {!Pure} annotation. *)
 
@@ -60,9 +69,50 @@ val simulated : bool ref
     that simulated runs never burn cycles in [cpu_relax] loops. *)
 
 val retry_cap : int ref
-(** Maximum number of times one [atomic] call may retry before raising
-    {!Control.Starvation}.  Default [max_int] (retry forever).  The
-    deterministic scheduler lowers this to prune livelocking schedules. *)
+(** Maximum number of times one [atomic] call may retry optimistically.
+    What happens at the cap depends on {!starvation_mode}: under the
+    default [`Fallback] the transaction escalates to the serial-irrevocable
+    mode ({!Serial}) and is guaranteed to commit; under [`Raise] it raises
+    {!Control.Starvation}.  Default 64.  The deterministic scheduler
+    installs its own cap (and [`Raise]) to prune livelocking schedules. *)
+
+val starvation_mode : [ `Raise | `Fallback ] ref
+(** What the retry loop does when {!retry_cap} is exhausted.  [`Fallback]
+    (default): enter the serial-irrevocable mode and commit.  [`Raise]:
+    raise {!Control.Starvation} — set by the deterministic scheduler, where
+    a global mutual-exclusion fallback would defeat exploration. *)
+
+val tx_timeout_ns : int option ref
+(** Optional per-transaction deadline (nanoseconds from first attempt).
+    When set, a transaction that can neither commit optimistically nor via
+    the serial fallback within the budget raises {!Control.Timeout}
+    (recorded in its engine's {!Stats}).  Default [None]: no deadline. *)
+
+(** The serial-irrevocable fallback token.  [enter]/[exit] are called by
+    {!Retry_loop}; engines consult [commit_allowed] in their commit (or,
+    for boosting, lock-acquisition) paths and abort with
+    {!Control.Killed} when another process holds the token. *)
+module Serial : sig
+  val active : unit -> bool
+  (** Some process holds the token. *)
+
+  val mine : unit -> bool
+  (** The current process holds the token. *)
+
+  val commit_allowed : unit -> bool
+  (** No token holder, or the holder is the current process. *)
+
+  val enter : ?giveup:(unit -> bool) -> unit -> bool
+  (** Spin until the token is acquired ([true]) or [giveup] returns [true]
+      ([false]).  Under {!simulated} the spin yields scheduling points. *)
+
+  val exit : unit -> unit
+  (** Release the token if held by the current process. *)
+
+  val await_clear : ?giveup:(unit -> bool) -> unit -> bool
+  (** Park while another process holds the token; [true] once clear (or if
+      the current process is the holder), [false] if [giveup] fired. *)
+end
 
 val fresh_tx_id : unit -> int
 (** Globally unique transaction identifiers. *)

@@ -21,7 +21,9 @@ module Rset = struct
 
   let create () = Vec.create ~dummy:dummy_rentry ()
 
-  let validate t ~owner = Vec.for_all (rentry_valid ~owner) t
+  let validate t ~owner =
+    if !Runtime.fault_injection && Faults.inject_validation_fail () then false
+    else Vec.for_all (rentry_valid ~owner) t
 
   let validate_upto t ~owner ~limit =
     Vec.for_all

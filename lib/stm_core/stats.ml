@@ -76,6 +76,9 @@ end
 type t = {
   commits : int Atomic.t;
   aborts : int Atomic.t;
+  starvations : int Atomic.t;
+  fallbacks : int Atomic.t;
+  timeouts : int Atomic.t;
   by_reason : int Atomic.t array;
   commit_latency_ns : Hist.t;
   abort_latency_ns : Hist.t;
@@ -87,6 +90,9 @@ type t = {
 type snapshot = {
   commits : int;
   aborts : int;
+  starvations : int;
+  fallbacks : int;
+  timeouts : int;
   by_reason : (Control.reason * int) list;
   commit_latency_ns : Hist.snapshot;
   abort_latency_ns : Hist.snapshot;
@@ -98,6 +104,9 @@ type snapshot = {
 let create () : t =
   { commits = Atomic.make 0;
     aborts = Atomic.make 0;
+    starvations = Atomic.make 0;
+    fallbacks = Atomic.make 0;
+    timeouts = Atomic.make 0;
     by_reason = Array.init Control.reason_count (fun _ -> Atomic.make 0);
     commit_latency_ns = Hist.create ();
     abort_latency_ns = Hist.create ();
@@ -110,6 +119,10 @@ let record_commit (t : t) = ignore (Atomic.fetch_and_add t.commits 1)
 let record_abort (t : t) reason =
   ignore (Atomic.fetch_and_add t.aborts 1);
   ignore (Atomic.fetch_and_add t.by_reason.(Control.reason_index reason) 1)
+
+let record_starvation (t : t) = ignore (Atomic.fetch_and_add t.starvations 1)
+let record_fallback (t : t) = ignore (Atomic.fetch_and_add t.fallbacks 1)
+let record_timeout (t : t) = ignore (Atomic.fetch_and_add t.timeouts 1)
 
 let record_commit_latency (t : t) ns = Hist.record t.commit_latency_ns ns
 let record_abort_latency (t : t) ns = Hist.record t.abort_latency_ns ns
@@ -130,6 +143,9 @@ let snapshot (t : t) =
   in
   { commits = Atomic.get t.commits;
     aborts = Atomic.get t.aborts;
+    starvations = Atomic.get t.starvations;
+    fallbacks = Atomic.get t.fallbacks;
+    timeouts = Atomic.get t.timeouts;
     by_reason;
     commit_latency_ns = Hist.snapshot t.commit_latency_ns;
     abort_latency_ns = Hist.snapshot t.abort_latency_ns;
@@ -140,6 +156,9 @@ let snapshot (t : t) =
 let reset (t : t) =
   Atomic.set t.commits 0;
   Atomic.set t.aborts 0;
+  Atomic.set t.starvations 0;
+  Atomic.set t.fallbacks 0;
+  Atomic.set t.timeouts 0;
   Array.iter (fun c -> Atomic.set c 0) t.by_reason;
   Hist.reset t.commit_latency_ns;
   Hist.reset t.abort_latency_ns;
@@ -150,6 +169,9 @@ let reset (t : t) =
 let empty_snapshot () : snapshot =
   { commits = 0;
     aborts = 0;
+    starvations = 0;
+    fallbacks = 0;
+    timeouts = 0;
     by_reason = [];
     commit_latency_ns = Hist.empty ();
     abort_latency_ns = Hist.empty ();
@@ -172,6 +194,9 @@ let add (a : snapshot) (b : snapshot) : snapshot =
   in
   { commits = a.commits + b.commits;
     aborts = a.aborts + b.aborts;
+    starvations = a.starvations + b.starvations;
+    fallbacks = a.fallbacks + b.fallbacks;
+    timeouts = a.timeouts + b.timeouts;
     by_reason;
     commit_latency_ns = Hist.add a.commit_latency_ns b.commit_latency_ns;
     abort_latency_ns = Hist.add a.abort_latency_ns b.abort_latency_ns;
@@ -189,6 +214,9 @@ let pp_snapshot ppf (s : snapshot) =
   List.iter
     (fun (r, n) -> Format.fprintf ppf " %s=%d" (Control.reason_to_string r) n)
     s.by_reason;
+  if s.fallbacks > 0 then Format.fprintf ppf " fallbacks=%d" s.fallbacks;
+  if s.starvations > 0 then Format.fprintf ppf " starvations=%d" s.starvations;
+  if s.timeouts > 0 then Format.fprintf ppf " timeouts=%d" s.timeouts;
   if Hist.count s.commit_latency_ns > 0 then
     Format.fprintf ppf " commit-p50<=%dns p99<=%dns"
       (Hist.percentile s.commit_latency_ns 50.0)

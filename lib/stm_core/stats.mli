@@ -58,6 +58,9 @@ type t
 type snapshot = {
   commits : int;
   aborts : int;
+  starvations : int;  (** retry caps exhausted (escalations or raises) *)
+  fallbacks : int;    (** serial-irrevocable fallback entries *)
+  timeouts : int;     (** transactions abandoned past their deadline *)
   by_reason : (Control.reason * int) list;  (** aborts broken down by reason *)
   commit_latency_ns : Hist.snapshot;  (** duration of committing attempts *)
   abort_latency_ns : Hist.snapshot;   (** duration of aborted attempts *)
@@ -70,6 +73,17 @@ val create : unit -> t
 
 val record_commit : t -> unit
 val record_abort : t -> Control.reason -> unit
+
+val record_starvation : t -> unit
+(** A transaction exhausted {!Runtime.retry_cap}.  Counted whether the
+    outcome is an escalation to the serial fallback or a raised
+    {!Control.Starvation}. *)
+
+val record_fallback : t -> unit
+(** A transaction entered the serial-irrevocable fallback. *)
+
+val record_timeout : t -> unit
+(** A transaction gave up past its {!Runtime.tx_timeout_ns} deadline. *)
 
 (** The detailed recorders are unconditional; callers guard on
     {!detailed_enabled} so the clock is not even read when metrics are

@@ -29,6 +29,8 @@ let version_of s = s lsr 1
 
 let try_lock t ~owner =
   if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  if !Runtime.fault_injection && Faults.inject_lock_fail () then false
+  else
   let s = Atomic.get t.stamp_cell in
   if locked s then false
   else if Atomic.compare_and_set t.stamp_cell s (s lor 1) then begin

@@ -134,6 +134,10 @@ end) : S = struct
 
   let commit_root ctx =
     Runtime.schedule_point ();
+    (* Serial-irrevocable gate (see Retry_loop): abort rather than block so
+       any locks this transaction holds are released for the token holder. *)
+    if not (Runtime.Serial.commit_allowed ()) then
+      Control.abort_tx Control.Killed;
     let owner = ctx.root.root_tx in
     if Rwsets.Wset.is_empty ctx.root.wset then begin
       if not (validate_views ~owner ctx) then

@@ -91,6 +91,26 @@ let with_retry_cap cap f =
   Runtime.retry_cap := cap;
   Fun.protect ~finally:(fun () -> Runtime.retry_cap := saved) f
 
+let with_starvation_mode mode f =
+  let saved = !Runtime.starvation_mode in
+  Runtime.starvation_mode := mode;
+  Fun.protect ~finally:(fun () -> Runtime.starvation_mode := saved) f
+
+let with_timeout_ns ns f =
+  let saved = !Runtime.tx_timeout_ns in
+  Runtime.tx_timeout_ns := Some ns;
+  Fun.protect ~finally:(fun () -> Runtime.tx_timeout_ns := saved) f
+
+let count_yields f =
+  let yields = ref 0 in
+  let saved = !Runtime.yield_hook in
+  Runtime.yield_hook := (fun _ -> incr yields);
+  Fun.protect
+    ~finally:(fun () -> Runtime.yield_hook := saved)
+    (fun () ->
+      f ();
+      !yields)
+
 let test_retry_first_attempt_commits () =
   simulated (fun () ->
       let stats = Stats.create () in
@@ -128,21 +148,135 @@ let test_retry_counts_aborts () =
 
 let test_retry_cap_starvation () =
   simulated (fun () ->
-      with_retry_cap 7 (fun () ->
-          let stats = Stats.create () in
-          let calls = ref 0 in
-          Alcotest.check_raises "starvation after the cap"
-            (Control.Starvation "transaction exceeded retry cap") (fun () ->
+      with_starvation_mode `Raise (fun () ->
+          with_retry_cap 7 (fun () ->
+              let stats = Stats.create () in
+              let calls = ref 0 in
+              Alcotest.check_raises "starvation after the cap"
+                (Control.Starvation "transaction exceeded retry cap")
+                (fun () ->
+                  ignore
+                    (Retry_loop.run ~stats (fun ~attempt:_ ->
+                         incr calls;
+                         Control.abort_tx Control.Validation_failed)));
+              (* attempts 0..7 ran, the cap refused an eighth retry *)
+              Alcotest.(check int) "cap+1 attempts executed" 8 !calls;
+              let s = Stats.snapshot stats in
+              Alcotest.(check int) "every attempt recorded as abort" 8
+                s.Stats.aborts;
+              Alcotest.(check int) "starvation counted" 1 s.Stats.starvations;
+              Alcotest.(check int) "nothing committed" 0 s.Stats.commits)))
+
+(* Under the default [`Fallback] mode the same always-conflicting workload
+   must NOT raise: the loop escalates to the serial-irrevocable mode, where
+   the attempt (here: one that only succeeds once serial) commits. *)
+let test_retry_cap_fallback_commits () =
+  simulated (fun () ->
+      with_starvation_mode `Fallback (fun () ->
+          with_retry_cap 3 (fun () ->
+              let stats = Stats.create () in
+              let calls = ref 0 in
+              let result =
+                Retry_loop.run ~stats (fun ~attempt:_ ->
+                    incr calls;
+                    if Runtime.Serial.mine () then "serial-commit"
+                    else Control.abort_tx Control.Validation_failed)
+              in
+              Alcotest.(check string) "committed via the fallback"
+                "serial-commit" result;
+              (* attempts 0..3 aborted, the escalated attempt 4 committed *)
+              Alcotest.(check int) "cap+2 attempts executed" 5 !calls;
+              Alcotest.(check bool) "token released" false
+                (Runtime.Serial.active ());
+              let s = Stats.snapshot stats in
+              Alcotest.(check int) "optimistic aborts recorded" 4
+                s.Stats.aborts;
+              Alcotest.(check int) "one commit" 1 s.Stats.commits;
+              Alcotest.(check int) "starvation counted" 1 s.Stats.starvations;
+              Alcotest.(check int) "fallback entry counted" 1
+                s.Stats.fallbacks)))
+
+(* The escalating attempt must not sit out a contention-manager wait: with
+   cap aborted attempts there are exactly cap backoff waits (one scheduling
+   point each under the simulated flag), none between the last optimistic
+   abort and the escalation. *)
+let test_no_backoff_before_escalation () =
+  simulated (fun () ->
+      with_starvation_mode `Fallback (fun () ->
+          with_retry_cap 2 (fun () ->
+              let stats = Stats.create () in
+              let yields =
+                count_yields (fun () ->
+                    ignore
+                      (Retry_loop.run ~stats (fun ~attempt:_ ->
+                           if Runtime.Serial.mine () then ()
+                           else Control.abort_tx Control.Lock_contention)))
+              in
+              Alcotest.(check int) "exactly cap waits, none when escalating"
+                2 yields)))
+
+(* A caller-supplied contention manager is reset by the commit that ends a
+   fallback episode, so the next transaction starts from a cold window. *)
+let test_backoff_reset_after_fallback () =
+  simulated (fun () ->
+      with_starvation_mode `Fallback (fun () ->
+          with_retry_cap 4 (fun () ->
+              let stats = Stats.create () in
+              let cm = Cm.create ~policy:Cm.Backoff () in
               ignore
-                (Retry_loop.run ~stats (fun ~attempt:_ ->
-                     incr calls;
-                     Control.abort_tx Control.Validation_failed)));
-          (* attempts 0..7 ran, attempt 8 tripped the cap *)
-          Alcotest.(check int) "cap+1 attempts executed" 8 !calls;
-          let s = Stats.snapshot stats in
-          Alcotest.(check int) "every attempt recorded as abort" 8
-            s.Stats.aborts;
-          Alcotest.(check int) "nothing committed" 0 s.Stats.commits))
+                (Retry_loop.run ~cm ~stats (fun ~attempt:_ ->
+                     if Runtime.Serial.mine () then ()
+                     else Control.abort_tx Control.Validation_failed));
+              Alcotest.(check int) "window back at its initial value" 16
+                (Cm.window cm);
+              Alcotest.(check int) "priority cleared" 0 (Cm.priority cm))))
+
+(* With a deadline configured, a workload that cannot commit stops with
+   Timeout instead of looping in the serial mode forever. *)
+let test_timeout_expires () =
+  simulated (fun () ->
+      with_starvation_mode `Fallback (fun () ->
+          with_retry_cap 1 (fun () ->
+              with_timeout_ns 200_000 (fun () ->
+                  let stats = Stats.create () in
+                  Alcotest.check_raises "deadline surfaces as Timeout"
+                    (Control.Timeout "transaction deadline expired")
+                    (fun () ->
+                      ignore
+                        (Retry_loop.run ~stats (fun ~attempt:_ ->
+                             Control.abort_tx Control.Validation_failed)));
+                  Alcotest.(check bool) "token released after timeout" false
+                    (Runtime.Serial.active ());
+                  let s = Stats.snapshot stats in
+                  Alcotest.(check int) "timeout counted" 1 s.Stats.timeouts;
+                  Alcotest.(check int) "nothing committed" 0 s.Stats.commits))))
+
+(* ------------------------------------------------------------------ *)
+(* Mclock                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_mclock_monotone () =
+  let prev = ref (Mclock.now_ns ()) in
+  for i = 1 to 10_000 do
+    let t = Mclock.now_ns () in
+    if Int64.compare t !prev < 0 then
+      Alcotest.failf "clock went backwards at sample %d" i;
+    prev := t
+  done
+
+let test_mclock_elapsed () =
+  let t0 = Mclock.now_ns () in
+  (* Burn a little time so elapsed is strictly positive even on a coarse
+     clock source. *)
+  let x = ref 0 in
+  for i = 1 to 1_000_000 do
+    x := !x + i
+  done;
+  Sys.opaque_identity !x |> ignore;
+  let e = Mclock.elapsed_ns t0 in
+  Alcotest.(check bool) "elapsed_ns is positive" true (e > 0);
+  let e' = Mclock.elapsed_ns t0 in
+  Alcotest.(check bool) "elapsed_ns grows" true (e' >= e)
 
 let test_retry_user_exception_passes_through () =
   simulated (fun () ->
@@ -166,7 +300,17 @@ let suite =
       test_retry_first_attempt_commits;
     Alcotest.test_case "retry: aborts counted then commits" `Quick
       test_retry_counts_aborts;
-    Alcotest.test_case "retry: cap raises Starvation" `Quick
+    Alcotest.test_case "retry: cap raises Starvation under `Raise" `Quick
       test_retry_cap_starvation;
+    Alcotest.test_case "retry: cap escalates to serial fallback" `Quick
+      test_retry_cap_fallback_commits;
+    Alcotest.test_case "retry: no backoff before escalation" `Quick
+      test_no_backoff_before_escalation;
+    Alcotest.test_case "retry: cm reset after fallback commit" `Quick
+      test_backoff_reset_after_fallback;
+    Alcotest.test_case "retry: deadline surfaces as Timeout" `Quick
+      test_timeout_expires;
+    Alcotest.test_case "mclock: monotone" `Quick test_mclock_monotone;
+    Alcotest.test_case "mclock: elapsed grows" `Quick test_mclock_elapsed;
     Alcotest.test_case "retry: user exceptions pass through" `Quick
       test_retry_user_exception_passes_through ]

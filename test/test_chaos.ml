@@ -1,0 +1,107 @@
+(* Chaos regression: every engine model-checked under fault injection.
+
+   This is the acceptance test for the robustness layer: across 20 fault
+   seeds per engine no schedule may show a torn read, lose conservation or
+   let any exception (Starvation included) escape, the forced-fallback
+   scenario must drive the serial-irrevocable path, and every applicable
+   fault kind must actually have fired at least once. *)
+
+open Stm_core
+
+let check_engine engine =
+  let r = Harness.Chaos.run_engine ~runs_per_seed:20 engine in
+  let name = r.Harness.Chaos.engine in
+  Alcotest.(check int)
+    (name ^ ": 20 seeds")
+    20
+    (List.length r.Harness.Chaos.seeds);
+  Alcotest.(check (list int))
+    (name ^ ": no seed shows a safety violation")
+    [] r.Harness.Chaos.failed_seeds;
+  Alcotest.(check bool)
+    (name ^ ": multi-domain conservation holds under faults")
+    true r.Harness.Chaos.stress_ok;
+  Alcotest.(check bool) (name ^ ": chaos verdict ok") true
+    (Harness.Chaos.ok r);
+  Alcotest.(check bool)
+    (name ^ ": schedules were actually explored")
+    true
+    (r.Harness.Chaos.schedules > 0);
+  Alcotest.(check bool)
+    (name ^ ": work committed under faults")
+    true
+    (r.Harness.Chaos.stats.Stats.commits > 0);
+  (* The forced-fallback scenario guarantees escalations on every seed. *)
+  Alcotest.(check bool)
+    (name ^ ": serial-irrevocable fallback was exercised")
+    true
+    (r.Harness.Chaos.stats.Stats.fallbacks > 0);
+  Alcotest.(check int)
+    (name ^ ": no deadline configured, so no timeouts")
+    0 r.Harness.Chaos.stats.Stats.timeouts;
+  (* Every fault kind applicable to the engine must have fired.  Boosting
+     has no read-set validation, so Validation_fail cannot occur there. *)
+  let applicable =
+    match engine with
+    | Harness.Chaos.Boost ->
+      [ Faults.Spurious_abort; Faults.Lock_fail; Faults.Delay ]
+    | _ -> Faults.all_kinds
+  in
+  List.iter
+    (fun k ->
+      let n = List.assoc k r.Harness.Chaos.injected in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: injected at least one %s" name
+           (Faults.kind_name k))
+        true (n > 0))
+    applicable
+
+let test_oe () = check_engine Harness.Chaos.OE
+let test_tl2 () = check_engine Harness.Chaos.TL2
+let test_view () = check_engine Harness.Chaos.View
+let test_boost () = check_engine Harness.Chaos.Boost
+
+let test_engine_names () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Harness.Chaos.engine_name e ^ " round-trips")
+        true
+        (Harness.Chaos.engine_of_string (Harness.Chaos.engine_name e) = e))
+    Harness.Chaos.all_engines;
+  Alcotest.check_raises "unknown engine rejected"
+    (Invalid_argument "Chaos.engine_of_string: unknown engine z80")
+    (fun () -> ignore (Harness.Chaos.engine_of_string "z80"))
+
+let test_report_shape () =
+  let r = Harness.Chaos.run_engine ~seeds:[ 1; 2 ] ~runs_per_seed:3
+      ~stress_domains:2 ~stress_txns:20 Harness.Chaos.OE
+  in
+  let json = Harness.Chaos.report_json [ r ] in
+  let text = Harness.Report.to_string json in
+  match Harness.Report.of_string text with
+  | Error e -> Alcotest.failf "chaos report is not valid JSON: %s" e
+  | Ok parsed ->
+    let module R = Harness.Report in
+    Alcotest.(check bool) "schema version" true
+      (R.member "schema_version" parsed = Some (R.Int R.schema_version));
+    Alcotest.(check bool) "kind marks the report as chaos" true
+      (R.member "kind" parsed = Some (R.Str "chaos"));
+    (match R.member "engines" parsed with
+    | Some (R.List [ e ]) ->
+      List.iter
+        (fun key ->
+          if R.member key e = None then
+            Alcotest.failf "engine entry is missing %S" key)
+        [ "engine"; "seeds"; "runs_per_seed"; "schedules"; "ok";
+          "failed_seeds"; "stress_ok"; "commits"; "aborts"; "starvations";
+          "fallbacks"; "timeouts"; "injected" ]
+    | _ -> Alcotest.fail "expected exactly one engine entry")
+
+let suite =
+  [ Alcotest.test_case "engine names" `Quick test_engine_names;
+    Alcotest.test_case "report shape" `Quick test_report_shape;
+    Alcotest.test_case "OE-STM survives chaos" `Slow test_oe;
+    Alcotest.test_case "TL2 survives chaos" `Slow test_tl2;
+    Alcotest.test_case "View-STM survives chaos" `Slow test_view;
+    Alcotest.test_case "boosting survives chaos" `Slow test_boost ]

@@ -1,0 +1,119 @@
+(* Unit tests for the pluggable contention-manager policies (Cm).
+
+   The policies' waits are advisory spins, so the tests observe them
+   through the introspection accessors (window, priority, birth_ns)
+   rather than wall-clock time: Backoff must double its window per abort
+   up to the cap, Karma must accumulate priority, Timestamp must keep its
+   original birth stamp across attempts. *)
+
+open Stm_core
+
+let with_policy p f =
+  let saved = Cm.current_policy () in
+  Cm.set_policy p;
+  Fun.protect ~finally:(fun () -> Cm.set_policy saved) f
+
+let test_policy_names () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Cm.policy_name p ^ " round-trips")
+        true
+        (Cm.policy_of_string (Cm.policy_name p) = p))
+    Cm.all_policies;
+  Alcotest.(check bool) "case-insensitive" true
+    (Cm.policy_of_string "KARMA" = Cm.Karma);
+  Alcotest.check_raises "unknown policy rejected"
+    (Invalid_argument "Cm.policy_of_string: unknown policy nonsense")
+    (fun () -> ignore (Cm.policy_of_string "nonsense"))
+
+let test_default_policy_plumbing () =
+  with_policy Cm.Timestamp (fun () ->
+      Alcotest.(check bool) "current_policy" true
+        (Cm.current_policy () = Cm.Timestamp);
+      let cm = Cm.create () in
+      Alcotest.(check bool) "create picks up the default" true
+        (Cm.policy cm = Cm.Timestamp));
+  let cm = Cm.create ~policy:Cm.Karma () in
+  Alcotest.(check bool) "explicit policy wins" true (Cm.policy cm = Cm.Karma)
+
+let test_backoff_exponential () =
+  let cm = Cm.create ~policy:Cm.Backoff ~seed:3 () in
+  let init, cap = Backoff.defaults () in
+  Alcotest.(check int) "starts at the default init" init (Cm.window cm);
+  Cm.pre_attempt cm ~attempt:0;
+  let expected = ref init in
+  for attempt = 0 to 12 do
+    Cm.on_abort cm ~attempt Control.Validation_failed;
+    expected := min cap (!expected * 2);
+    Alcotest.(check int)
+      (Printf.sprintf "window doubles (abort %d)" attempt)
+      !expected (Cm.window cm)
+  done;
+  Alcotest.(check int) "window saturates at the cap" cap (Cm.window cm);
+  Cm.on_abort cm ~attempt:13 Control.Lock_contention;
+  Alcotest.(check int) "still capped" cap (Cm.window cm);
+  Cm.on_commit cm;
+  Alcotest.(check int) "commit resets the window" init (Cm.window cm)
+
+let test_karma_priority () =
+  let cm = Cm.create ~policy:Cm.Karma ~seed:5 () in
+  Alcotest.(check int) "fresh priority" 0 (Cm.priority cm);
+  Cm.pre_attempt cm ~attempt:0;
+  for attempt = 0 to 4 do
+    Cm.on_abort cm ~attempt Control.Read_locked
+  done;
+  Alcotest.(check int) "each abort earns one karma" 5 (Cm.priority cm);
+  Alcotest.(check bool) "window still grows under karma" true
+    (Cm.window cm > fst (Backoff.defaults ()));
+  Cm.on_commit cm;
+  Alcotest.(check int) "commit resets priority" 0 (Cm.priority cm);
+  Alcotest.(check int) "commit resets the window"
+    (fst (Backoff.defaults ())) (Cm.window cm)
+
+let test_timestamp_birth_preserved () =
+  let cm = Cm.create ~policy:Cm.Timestamp ~seed:7 () in
+  Cm.pre_attempt cm ~attempt:0;
+  let birth = Cm.birth_ns cm in
+  Alcotest.(check bool) "attempt 0 stamps a birth time" true
+    (birth > 0L);
+  for attempt = 0 to 3 do
+    Cm.on_abort cm ~attempt Control.Validation_failed;
+    Cm.pre_attempt cm ~attempt:(attempt + 1);
+    Alcotest.(check bool)
+      (Printf.sprintf "retry %d keeps the birth stamp" (attempt + 1))
+      true
+      (Cm.birth_ns cm = birth)
+  done;
+  (* A fresh top-level transaction (attempt 0 again) re-stamps. *)
+  Cm.on_commit cm;
+  Cm.pre_attempt cm ~attempt:0;
+  Alcotest.(check bool) "next transaction gets a fresh stamp" true
+    (Cm.birth_ns cm >= birth)
+
+let test_backoff_defaults_validation () =
+  let init, cap = Backoff.defaults () in
+  let restore () = Backoff.set_defaults ~init ~max_window:cap () in
+  Fun.protect ~finally:restore (fun () ->
+      Backoff.set_defaults ~init:4 ~max_window:64 ();
+      Alcotest.(check bool) "set_defaults applies" true
+        (Backoff.defaults () = (4, 64));
+      Alcotest.check_raises "init below 1 rejected"
+        (Invalid_argument "Backoff.set_defaults: init must be >= 1")
+        (fun () -> Backoff.set_defaults ~init:0 ());
+      Alcotest.check_raises "cap below init rejected"
+        (Invalid_argument "Backoff.set_defaults: max_window < init")
+        (fun () -> Backoff.set_defaults ~max_window:2 ()))
+
+let suite =
+  [ Alcotest.test_case "policy names" `Quick test_policy_names;
+    Alcotest.test_case "default policy plumbing" `Quick
+      test_default_policy_plumbing;
+    Alcotest.test_case "backoff doubles and resets" `Quick
+      test_backoff_exponential;
+    Alcotest.test_case "karma accumulates priority" `Quick
+      test_karma_priority;
+    Alcotest.test_case "timestamp keeps its birth" `Quick
+      test_timestamp_birth_preserved;
+    Alcotest.test_case "backoff defaults validation" `Quick
+      test_backoff_defaults_validation ]

@@ -226,6 +226,7 @@ let test_json_end_to_end () =
                   Alcotest.failf "point is missing %S" key)
               [ "threads"; "ops_per_ms"; "abort_rate"; "total_ops";
                 "elapsed_ms"; "runs"; "commits"; "aborts";
+                "starvations"; "fallbacks"; "timeouts";
                 "aborts_by_reason"; "commit_latency_ns"; "abort_latency_ns";
                 "retry_depth"; "read_set_size"; "write_set_size" ]
           | _ -> Alcotest.fail "series has no points")

@@ -17,6 +17,9 @@ let () =
        ("linearizability", Test_linearizability.suite);
        ("tx_queue_map", Test_tx_queue_map.suite);
        ("backoff_retry", Test_backoff_retry.suite);
+       ("cm", Test_cm.suite);
+       ("faults", Test_faults.suite);
+       ("chaos", Test_chaos.suite);
        ("viewstm", Test_viewstm.suite);
        ("stm:View-STM", Test_viewstm.battery_suite) ]
     @ Test_stm_semantics.suites @ Test_eec.suites @ Test_collections.suites)

@@ -189,7 +189,16 @@ let golden_result () =
 
 let golden_json =
   {|{
-  "schema_version": 1,
+  "schema_version": 2,
+  "config": {
+    "cm": "backoff",
+    "retry_cap": 64,
+    "starvation_mode": "fallback",
+    "tx_timeout_ns": null,
+    "backoff_init": 16,
+    "backoff_max": 16384,
+    "faults": null
+  },
   "figures": [
     {
       "figure": "6a",
@@ -218,6 +227,9 @@ let golden_json =
               "runs": 1,
               "commits": 2,
               "aborts": 1,
+              "starvations": 0,
+              "fallbacks": 0,
+              "timeouts": 0,
               "aborts_by_reason": {
                 "validation-failed": 1
               },
@@ -266,7 +278,33 @@ let golden_json =
 |}
 
 let test_json_golden () =
-  let actual = Harness.Report.to_string (Harness.Report.report [ golden_result () ]) in
+  (* The "config" object reflects process-wide runtime state; pin it to
+     the shipped defaults for the duration of the check so the golden is
+     independent of which suites ran first. *)
+  let saved_policy = Cm.current_policy () in
+  let saved_cap = !Runtime.retry_cap in
+  let saved_mode = !Runtime.starvation_mode in
+  let saved_timeout = !Runtime.tx_timeout_ns in
+  let saved_init, saved_max = Backoff.defaults () in
+  let saved_faults = Faults.current () in
+  Cm.set_policy Cm.Backoff;
+  Runtime.retry_cap := 64;
+  Runtime.starvation_mode := `Fallback;
+  Runtime.tx_timeout_ns := None;
+  Backoff.set_defaults ~init:16 ~max_window:16384 ();
+  Faults.disable ();
+  let restore () =
+    Cm.set_policy saved_policy;
+    Runtime.retry_cap := saved_cap;
+    Runtime.starvation_mode := saved_mode;
+    Runtime.tx_timeout_ns := saved_timeout;
+    Backoff.set_defaults ~init:saved_init ~max_window:saved_max ();
+    match saved_faults with None -> () | Some c -> Faults.enable c
+  in
+  let actual =
+    Fun.protect ~finally:restore (fun () ->
+        Harness.Report.to_string (Harness.Report.report [ golden_result () ]))
+  in
   Alcotest.(check string) "report JSON shape" golden_json actual;
   (* And the emitted report must parse back as JSON. *)
   match Harness.Report.of_string actual with
