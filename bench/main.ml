@@ -148,6 +148,25 @@ let () =
   Option.iter
     (fun spec -> Stm_core.Faults.enable (Stm_core.Faults.parse spec))
     (find_value "--faults");
+  (* [--sanitizer] turns Txsan on for the whole run: the benchmark doubles
+     as a long soak under real contention.  Numbers are not comparable to
+     clean runs (see EXPERIMENTS.md); the run fails on any violation. *)
+  let sanitizer = Array.exists (( = ) "--sanitizer") argv in
+  if sanitizer then begin
+    Stm_core.Sanitizer.enable ();
+    print_endline "## sanitizer on: numbers are NOT comparable to clean runs"
+  end;
   if detailed then Stm_core.Stats.set_detailed true;
   if not skip_micro then run_micro ();
-  if not skip_sweep then run_sweep ~detailed:(detailed || json <> None) ~json
+  if not skip_sweep then run_sweep ~detailed:(detailed || json <> None) ~json;
+  if sanitizer then begin
+    let n = Stm_core.Sanitizer.violation_count () in
+    if n > 0 then begin
+      Printf.eprintf "## sanitizer: %d violation(s)\n" n;
+      List.iter
+        (fun v -> Format.eprintf "##   %a@." Stm_core.Sanitizer.pp_violation v)
+        (Stm_core.Sanitizer.violations ());
+      exit 1
+    end
+    else print_endline "## sanitizer: clean"
+  end

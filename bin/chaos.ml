@@ -28,12 +28,14 @@ let engines_conv =
         Format.fprintf ppf "%s"
           (String.concat "," (List.map Harness.Chaos.engine_name es)) )
 
-let run_chaos engines seeds runs stress_domains stress_txns json =
+let run_chaos engines seeds runs stress_domains stress_txns json sanitizer =
   let seeds = List.init seeds (fun i -> i + 1) in
+  if sanitizer then Stm_core.Sanitizer.enable ();
   Printf.printf
-    "## Chaos: %d seed(s)/engine, %d schedule(s)/seed, faults %s\n%!"
+    "## Chaos: %d seed(s)/engine, %d schedule(s)/seed, faults %s%s\n%!"
     (List.length seeds) runs
-    (Stm_core.Faults.to_string Harness.Chaos.default_faults);
+    (Stm_core.Faults.to_string Harness.Chaos.default_faults)
+    (if sanitizer then ", sanitizer on" else "");
   let results =
     List.map
       (fun e ->
@@ -43,13 +45,14 @@ let run_chaos engines seeds runs stress_domains stress_txns json =
         in
         Printf.printf
           "%-10s %s  schedules=%d commits=%d aborts=%d fallbacks=%d \
-           timeouts=%d injected=[%s]%s\n%!"
+           timeouts=%d san_violations=%d injected=[%s]%s\n%!"
           r.Harness.Chaos.engine
           (if Harness.Chaos.ok r then "ok  " else "FAIL")
           r.Harness.Chaos.schedules r.Harness.Chaos.stats.Stm_core.Stats.commits
           r.Harness.Chaos.stats.Stm_core.Stats.aborts
           r.Harness.Chaos.stats.Stm_core.Stats.fallbacks
           r.Harness.Chaos.stats.Stm_core.Stats.timeouts
+          r.Harness.Chaos.san_violations
           (String.concat " "
              (List.map
                 (fun (k, n) ->
@@ -69,6 +72,10 @@ let run_chaos engines seeds runs stress_domains stress_txns json =
   | Some file ->
     Harness.Report.write_file file (Harness.Chaos.report_json results);
     Printf.printf "## wrote %s\n%!" file);
+  if sanitizer then
+    List.iter
+      (fun v -> Format.eprintf "sanitizer: %a@." Stm_core.Sanitizer.pp_violation v)
+      (Stm_core.Sanitizer.violations ());
   if List.for_all Harness.Chaos.ok results then 0 else 1
 
 let cmd =
@@ -99,10 +106,17 @@ let cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Write a machine-readable JSON chaos report to $(docv).")
   in
+  let sanitizer =
+    Arg.(value & flag & info [ "sanitizer" ]
+           ~doc:"Enable the transactional sanitizer (Txsan) for the run; \
+                 the multi-domain stress phase is checked (schedule \
+                 exploration is simulated and exempt).  Any violation \
+                 fails the engine's verdict and the exit status.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Model-check all STM engines under deterministic fault injection")
     Term.(const run_chaos $ engines $ seeds $ runs $ stress_domains
-          $ stress_txns $ json)
+          $ stress_txns $ json $ sanitizer)
 
 let () = exit (Cmd.eval' cmd)

@@ -10,14 +10,16 @@
 open Cmdliner
 
 let parse_threads s =
-  try Ok (List.map int_of_string (String.split_on_char ',' s))
-  with _ -> Error (`Msg "expected a comma-separated list of integers")
+  let parts = String.split_on_char ',' s in
+  let ints = List.filter_map int_of_string_opt parts in
+  if parts <> [] && List.length ints = List.length parts then Ok ints
+  else Error (`Msg "expected a comma-separated list of integers")
 
 let threads_conv = Arg.conv (parse_threads, fun ppf l ->
     Format.fprintf ppf "%s" (String.concat "," (List.map string_of_int l)))
 
 let run_figures figure_str threads duration runs size_exp seed full csv json
-    cm retry_cap backoff_init backoff_max faults =
+    cm retry_cap backoff_init backoff_max faults sanitizer =
   (* Robustness knobs first: they configure process-wide state that the
      sweep reads, and the JSON report records them in its "config". *)
   (match cm with
@@ -45,6 +47,11 @@ let run_figures figure_str threads duration runs size_exp seed full csv json
     | exception Invalid_argument m ->
       Printf.eprintf "%s\n" m;
       exit 2));
+  if sanitizer then begin
+    Stm_core.Sanitizer.enable ();
+    Printf.printf
+      "# sanitizer on: numbers are NOT comparable to clean runs\n%!"
+  end;
   let figures =
     if figure_str = "all" then Harness.Figures.all
     else
@@ -86,6 +93,17 @@ let run_figures figure_str threads duration runs size_exp seed full csv json
   | Some file ->
     Harness.Report.write_file file (Harness.Report.report results);
     Printf.printf "# wrote %s\n%!" file);
+  if sanitizer then begin
+    let n = Stm_core.Sanitizer.violation_count () in
+    if n > 0 then begin
+      Printf.eprintf "# sanitizer: %d violation(s)\n" n;
+      List.iter
+        (fun v -> Format.eprintf "#   %a@." Stm_core.Sanitizer.pp_violation v)
+        (Stm_core.Sanitizer.violations ());
+      exit 1
+    end
+    else Printf.printf "# sanitizer: clean\n%!"
+  end;
   0
 
 let cmd =
@@ -152,10 +170,18 @@ let cmd =
                  For robustness experiments only - numbers measured with \
                  faults on are not comparable to clean runs.")
   in
+  let sanitizer =
+    Arg.(value & flag & info [ "sanitizer" ]
+           ~doc:"Enable the transactional sanitizer (Txsan): checks vlock \
+                 discipline, opacity at every read, escape hatches and \
+                 abort swallowing while the benchmark runs.  Adds a \
+                 \"sanitizer\" object to the JSON report and exits 1 on \
+                 any violation.  Numbers are not comparable to clean runs.")
+  in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the figures of Composing Relaxed Transactions (IPDPS'13)")
     Term.(const run_figures $ figure $ threads $ duration $ runs $ size_exp
           $ seed $ full $ csv $ json $ cm $ retry_cap $ backoff_init
-          $ backoff_max $ faults)
+          $ backoff_max $ faults $ sanitizer)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,64 @@
+(* txlint: static STM-discipline lint over the repo's OCaml sources.
+
+   Usage:  dune exec bin/txlint.exe -- [--json] [PATH ...]
+
+   Paths default to lib, bin and examples; directories are walked
+   recursively for *.ml files.  Exit status: 0 clean, 1 findings,
+   2 parse/usage errors.  See lib/txlint/lint.mli for the checks. *)
+
+let default_roots = [ "lib"; "bin"; "examples" ]
+
+let usage () =
+  prerr_endline "usage: txlint [--json] [PATH ...]";
+  exit 2
+
+let () =
+  let json = ref false in
+  let paths = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | "--help" | "-h" -> usage ()
+        | _ when String.length arg > 0 && arg.[0] = '-' ->
+          Printf.eprintf "txlint: unknown option %s\n" arg;
+          usage ()
+        | p -> paths := p :: !paths)
+    Sys.argv;
+  let roots = if !paths = [] then default_roots else List.rev !paths in
+  let files =
+    List.concat_map
+      (fun r -> if Sys.file_exists r && not (Sys.is_directory r) then [ r ]
+                else Lint.ml_files_under [ r ])
+      roots
+  in
+  if files = [] then begin
+    Printf.eprintf "txlint: no .ml files under: %s\n"
+      (String.concat " " roots);
+    exit 2
+  end;
+  let findings, errors = Lint.lint_files files in
+  if !json then begin
+    print_string "[";
+    List.iteri
+      (fun i f ->
+        if i > 0 then print_string ",";
+        print_string "\n  ";
+        print_string (Lint.finding_to_json f))
+      findings;
+    if findings <> [] then print_newline ();
+    print_endline "]"
+  end
+  else
+    List.iter
+      (fun f -> Format.printf "%a@." Lint.pp_finding f)
+      findings;
+  List.iter (Printf.eprintf "txlint: %s\n") errors;
+  if errors <> [] then exit 2
+  else if findings <> [] then begin
+    Printf.eprintf "txlint: %d finding(s) in %d file(s)\n"
+      (List.length findings) (List.length files);
+    exit 1
+  end
+  else Printf.eprintf "txlint: clean (%d files)\n" (List.length files)

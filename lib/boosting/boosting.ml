@@ -41,14 +41,27 @@ module Abstract_lock = struct
 
   let id t = t.id
 
+  (* Lock transitions report themselves to the sanitizer (abstract locks
+     carry no version, so only the balance checks apply).  Events fire on
+     actual state changes, not on reentrant hits or failed attempts. *)
   let try_acquire t ~owner =
     if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.id);
     Atomic.get t.holder = owner
-    || Atomic.compare_and_set t.holder (-1) owner
+    ||
+    if Atomic.compare_and_set t.holder (-1) owner then begin
+      if !Runtime.sanitizer then
+        Runtime.sanitizer_event
+          (Runtime.San_acquire { pe = t.id; owner; version = 0 });
+      true
+    end
+    else false
 
   let release t ~owner =
     if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.id);
-    ignore (Atomic.compare_and_set t.holder owner (-1))
+    if Atomic.compare_and_set t.holder owner (-1) then
+      if !Runtime.sanitizer then
+        Runtime.sanitizer_event
+          (Runtime.San_release { pe = t.id; owner; version = None })
 
   let held_by t = Atomic.get t.holder
 end
@@ -140,6 +153,7 @@ let atomic f =
             rec_state = Txrec.create () }
         in
         Domain.DLS.set current (Some tx);
+        if !Runtime.sanitizer then Sanitizer.tx_begin ~owner:tx.root_id;
         Txrec.begin_tx tx.rec_state ~tx:tx.root_id;
         try
           let result = f tx in
@@ -149,12 +163,14 @@ let atomic f =
           Txrec.commit_tx tx.rec_state ~tx:tx.root_id;
           release_all tx;
           Txrec.release_remaining tx.rec_state;
+          if !Runtime.sanitizer then Sanitizer.tx_end ~owner:tx.root_id;
           Domain.DLS.set current None;
           result
         with e ->
           rollback tx;
           release_all tx;
           Txrec.abort_open tx.rec_state;
+          if !Runtime.sanitizer then Sanitizer.tx_end ~owner:tx.root_id;
           Domain.DLS.set current None;
           raise e)
 

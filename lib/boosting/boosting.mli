@@ -1,0 +1,90 @@
+(** Transactional boosting (Herlihy & Koskinen, PPoPP'08), composed
+    through outheritance: a boosted transaction pessimistically acquires
+    {e abstract locks} (one per semantic entity) before invoking an
+    operation of an underlying linearizable object and records an inverse
+    in an undo log; on abort the log runs backwards and the locks are
+    released.  Nested [atomic] blocks share the root's lock table and
+    undo log, so a child's abstract locks are held until the {e root}
+    commits — outheritance, and with it composition, by construction
+    (Section VIII of the paper). *)
+
+exception Too_many_retries of string
+(** Alias of {!Stm_core.Control.Starvation}: raised when the retry cap is
+    exceeded under [`Raise] starvation mode. *)
+
+(** One abstract lock: a test-and-set lock with an owner, reentrant with
+    respect to one boosted transaction.  The [id] doubles as the
+    protection-element identifier when runs are recorded for the theory
+    checkers. *)
+module Abstract_lock : sig
+  type t
+
+  val create : unit -> t
+  val id : t -> int
+
+  val try_acquire : t -> owner:int -> bool
+  (** [true] if the lock is now (or already was) held by [owner]. *)
+
+  val release : t -> owner:int -> unit
+  (** Release if held by [owner]; a no-op otherwise. *)
+
+  val held_by : t -> int
+  (** Current holder's owner id, or -1 when free. *)
+end
+
+type tx
+(** Handle on the running boosted transaction, passed to the body of
+    {!atomic}. *)
+
+val stats : Stm_core.Stats.t
+(** Commit/abort counters of the boosting engine. *)
+
+val in_transaction : unit -> bool
+
+val acquire : tx -> Abstract_lock.t -> unit
+(** Acquire an abstract lock for the running transaction (idempotent);
+    aborts the transaction if the lock stays unavailable past the
+    transaction's patience.  The lock is outherited: released only when
+    the root commits or aborts. *)
+
+val log_undo : tx -> (unit -> unit) -> unit
+(** Record the inverse of an operation about to be applied. *)
+
+val atomic : (tx -> 'a) -> 'a
+(** Run a boosted transaction to successful commit.  Nested calls share
+    the root transaction's lock table and undo log. *)
+
+(** A sequential data type that can be boosted: a set with membership,
+    insertion and removal, each invertible. *)
+module type BOOSTABLE_SET = sig
+  type elt
+  type t
+
+  val create : unit -> t
+  val contains : t -> elt -> bool
+  val add : t -> elt -> bool
+  val remove : t -> elt -> bool
+end
+
+(** Boost a sequential set into a composable concurrent one: each key
+    hashes to one of [stripes] abstract locks; operations acquire the
+    key's lock, apply the sequential operation, and log the inverse. *)
+module Boost (Base : BOOSTABLE_SET) (_ : sig
+  val hash : Base.elt -> int
+end) : sig
+  type elt = Base.elt
+  type t
+
+  val create : ?stripes:int -> unit -> t
+  val contains : t -> elt -> bool
+  val add : t -> elt -> bool
+  val remove : t -> elt -> bool
+
+  (** Compositions: one transaction spanning several operations, atomic
+      thanks to outherited abstract locks. *)
+
+  val add_all : t -> elt list -> bool
+  val remove_all : t -> elt list -> bool
+  val insert_if_absent : t -> ins:elt -> guard:elt -> bool
+  val move : src:t -> dst:t -> elt -> bool
+end

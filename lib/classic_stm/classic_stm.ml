@@ -91,6 +91,12 @@ module Make (P : POLICY) : Stm_intf.S = struct
       let pe = Tvar.id tv in
       Txrec.acquire ctx.rec_state ~pe;
       Vec.push ctx.rset { Rwsets.r_lock = tv.Tvar.lock; r_seen = s; r_pe = pe };
+      (* Sanitizer strict-opacity mode: revalidate the whole read set at
+         every tracked read so an inconsistent snapshot aborts here, at the
+         read that would observe it, instead of at commit. *)
+      if !Runtime.sanitizer then
+        Sanitizer.on_tx_read ~validate:(fun () ->
+            Rwsets.Rset.validate ctx.rset ~owner:ctx.tx_id);
       Txrec.read ctx.rec_state ~tx:ctx.cur_tx ~pe ~repr:(Recorder.repr_of_value v);
       v
 
@@ -136,6 +142,8 @@ module Make (P : POLICY) : Stm_intf.S = struct
         Rwsets.Wset.unlock_all_restore ctx.wset;
         Control.abort_tx Control.Validation_failed
       end;
+      if !Runtime.sanitizer then
+        Sanitizer.on_commit ~owner:ctx.tx_id ~wv (fun f -> Vec.iter f ctx.rset);
       Rwsets.Wset.install_and_unlock ctx.wset ~wv
     end;
     Txrec.commit_tx ctx.rec_state ~tx:ctx.tx_id;
@@ -162,6 +170,7 @@ module Make (P : POLICY) : Stm_intf.S = struct
             rec_state = Txrec.create () }
         in
         Domain.DLS.set current (Some ctx);
+        if !Runtime.sanitizer then Sanitizer.tx_begin ~owner:tx_id;
         Txrec.begin_tx ctx.rec_state ~tx:ctx.tx_id;
         (* The commit itself can abort, so it must run inside the cleanup
            handler, not in the success branch of a match on [f ctx]. *)
@@ -171,11 +180,13 @@ module Make (P : POLICY) : Stm_intf.S = struct
           if Stats.detailed_enabled () then
             Stats.record_rwset_sizes stats ~reads:(Vec.length ctx.rset)
               ~writes:(Rwsets.Wset.size ctx.wset);
+          if !Runtime.sanitizer then Sanitizer.tx_end ~owner:tx_id;
           Domain.DLS.set current None;
           result
         with e ->
           Rwsets.Wset.unlock_all_restore ctx.wset;
           Txrec.abort_open ctx.rec_state;
+          if !Runtime.sanitizer then Sanitizer.tx_end ~owner:tx_id;
           Domain.DLS.set current None;
           raise e)
 

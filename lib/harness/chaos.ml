@@ -62,9 +62,13 @@ type engine_result = {
   stress_ok : bool;      (** multi-domain conservation held *)
   stats : Stats.snapshot;   (** engine stats over the whole chaos run *)
   injected : (Faults.kind * int) list;  (** faults injected, by kind *)
+  san_violations : int;
+      (** sanitizer violations recorded during this engine's run; 0 when
+          the sanitizer is off (schedule exploration is simulated and thus
+          exempt — only the multi-domain stress run is sanitized) *)
 }
 
-let ok r = r.failed_seeds = [] && r.stress_ok
+let ok r = r.failed_seeds = [] && r.stress_ok && r.san_violations = 0
 
 (* ------------------------------------------------------------------ *)
 (* Scenarios for tvar-based engines                                    *)
@@ -167,6 +171,7 @@ module Stm_chaos (S : Stm_intf.S) = struct
   let run ~seeds ~runs_per_seed ~stress_domains ~stress_txns =
     Stats.reset S.stats;
     Faults.reset_counts ();
+    let san0 = Sanitizer.violation_count () in
     let failed = ref [] in
     let schedules = ref 0 in
     List.iter
@@ -203,7 +208,8 @@ module Stm_chaos (S : Stm_intf.S) = struct
       failed_seeds = List.rev !failed;
       stress_ok;
       stats = Stats.snapshot S.stats;
-      injected = Faults.counts () }
+      injected = Faults.counts ();
+      san_violations = Sanitizer.violation_count () - san0 }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -311,6 +317,7 @@ module Boost_chaos = struct
   let run ~seeds ~runs_per_seed ~stress_domains ~stress_txns =
     Stats.reset Boosting.stats;
     Faults.reset_counts ();
+    let san0 = Sanitizer.violation_count () in
     let failed = ref [] in
     let schedules = ref 0 in
     List.iter
@@ -345,7 +352,8 @@ module Boost_chaos = struct
       failed_seeds = List.rev !failed;
       stress_ok;
       stats = Stats.snapshot Boosting.stats;
-      injected = Faults.counts () }
+      injected = Faults.counts ();
+      san_violations = Sanitizer.violation_count () - san0 }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -392,6 +400,7 @@ let engine_to_json (r : engine_result) =
       ("starvations", Report.Int r.stats.Stats.starvations);
       ("fallbacks", Report.Int r.stats.Stats.fallbacks);
       ("timeouts", Report.Int r.stats.Stats.timeouts);
+      ("san_violations", Report.Int r.san_violations);
       ( "injected",
         Report.Obj
           (List.map
@@ -404,4 +413,5 @@ let report_json (results : engine_result list) =
       ("kind", Report.Str "chaos");
       ( "faults",
         Report.Str (Faults.to_string default_faults) );
+      ("sanitizer", Report.sanitizer_to_json ());
       ("engines", Report.List (List.map engine_to_json results)) ]

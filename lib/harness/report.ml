@@ -184,7 +184,9 @@ let of_string (s : string) : (json, string) result =
            if !pos + 4 >= n then fail "truncated \\u escape";
            let hex = String.sub s (!pos + 1) 4 in
            let code =
-             try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+             match int_of_string_opt ("0x" ^ hex) with
+             | Some c -> c
+             | None -> fail "bad \\u escape"
            in
            (* The emitter only escapes control characters, so decoding the
               ASCII range suffices for round-tripping our own output. *)
@@ -388,8 +390,36 @@ let config_to_json () =
       ("backoff_max", Int max_window);
       ("faults", faults) ]
 
+(* Sanitizer verdict: [null] when the run was not sanitized (so old
+   consumers see an explicit "not checked", not a zero count), otherwise
+   the work done and the violations found, by kind.  Additive — the
+   schema version stays 2. *)
+let sanitizer_to_json () =
+  let module San = Stm_core.Sanitizer in
+  if not (San.enabled ()) then Null
+  else
+    let c = San.checks () in
+    Obj
+      [ ("enabled", Bool true);
+        ( "checks",
+          Obj
+            [ ("lock_transitions", Int c.San.lock_transitions);
+              ("reads_validated", Int c.San.reads_validated);
+              ("commits_checked", Int c.San.commits_checked);
+              ("unsafe_writes_checked", Int c.San.unsafe_writes_checked);
+              ("peeks_checked", Int c.San.peeks_checked);
+              ("attempts_audited", Int c.San.attempts_audited);
+              ("zombie_aborts", Int c.San.zombie_aborts) ] );
+        ("violations", Int (San.violation_count ()));
+        ( "violations_by_kind",
+          Obj
+            (List.map
+               (fun (k, n) -> (San.kind_name k, Int n))
+               (San.counts_by_kind ())) ) ]
+
 let report (results : Figures.figure_result list) =
   Obj
     [ ("schema_version", Int schema_version);
       ("config", config_to_json ());
+      ("sanitizer", sanitizer_to_json ());
       ("figures", List (List.map figure_to_json results)) ]

@@ -177,6 +177,11 @@ module Make (C : CONFIG) : S_EXT = struct
         Txrec.acquire ctx.root.rec_state ~pe;
         Vec.push ctx.rset_snap entry
       end;
+      (* Sanitizer strict-opacity mode: revalidate everything this
+         transaction still tracks (window included) at every read, so
+         inconsistent snapshots abort here rather than at commit. *)
+      if !Runtime.sanitizer then
+        Sanitizer.on_tx_read ~validate:(fun () -> validate_levels ~owner ctx);
       Txrec.read ctx.root.rec_state ~tx:ctx.tx_id ~pe
         ~repr:(Recorder.repr_of_value v);
       v
@@ -296,6 +301,16 @@ module Make (C : CONFIG) : S_EXT = struct
         Rwsets.Wset.unlock_all_restore ctx.root.wset;
         Control.abort_tx Control.Validation_failed
       end;
+      if !Runtime.sanitizer then begin
+        let rec iter_levels f level =
+          Vec.iter f level.rset_snap;
+          Vec.iter f level.rset_prot;
+          Option.iter f level.w0;
+          Option.iter f level.w1;
+          match level.parent with None -> () | Some p -> iter_levels f p
+        in
+        Sanitizer.on_commit ~owner ~wv (fun f -> iter_levels f ctx)
+      end;
       Rwsets.Wset.install_and_unlock ctx.root.wset ~wv
     end;
     Txrec.commit_tx ctx.root.rec_state ~tx:ctx.tx_id;
@@ -336,6 +351,7 @@ module Make (C : CONFIG) : S_EXT = struct
             written = false }
         in
         Domain.DLS.set current (Some ctx);
+        if !Runtime.sanitizer then Sanitizer.tx_begin ~owner:root_tx;
         Txrec.begin_tx root.rec_state ~tx:root_tx;
         (* The commit itself can abort, so it must run inside the cleanup
            handler, not in the success branch of a match on [f ctx]. *)
@@ -355,11 +371,13 @@ module Make (C : CONFIG) : S_EXT = struct
                 (Vec.length ctx.rset_snap + Vec.length ctx.rset_prot + window)
               ~writes:(Rwsets.Wset.size root.wset)
           end;
+          if !Runtime.sanitizer then Sanitizer.tx_end ~owner:root_tx;
           Domain.DLS.set current None;
           result
         with e ->
           Rwsets.Wset.unlock_all_restore root.wset;
           Txrec.abort_open root.rec_state;
+          if !Runtime.sanitizer then Sanitizer.tx_end ~owner:root_tx;
           Domain.DLS.set current None;
           raise e)
 

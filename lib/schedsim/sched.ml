@@ -73,8 +73,14 @@ let kill st =
   | None -> ()
   | Some k -> (
     st.cont <- None;
+    (* Exceptions raised by the unwinding process land in its own handler
+       ([exnc] above records them in [st.failure]); the only exception
+       [discontinue] itself can raise at us is
+       [Continuation_already_resumed].  Anything else — a [Control] abort
+       or an assertion failure escaping the scheduler machinery itself —
+       must propagate, not be silently dropped. *)
     try Effect.Deep.discontinue k Killed_by_scheduler
-    with _ -> ())
+    with Effect.Continuation_already_resumed -> ())
 
 let run_guided ?(max_steps = 100_000) ~guide procs =
   let states =

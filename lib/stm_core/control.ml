@@ -13,7 +13,15 @@ exception Abort_tx of reason
 exception Starvation of string
 exception Timeout of string
 
-let abort_tx r = raise (Abort_tx r)
+(* The sanitizer's abort-generation bump ({!Txrec.bump_abort_generation}),
+   installed by [Sanitizer.enable].  A hook rather than a direct call keeps
+   this module free of dependencies; the [Runtime.sanitizer] guard keeps the
+   disabled cost at one load. *)
+let abort_notifier : (unit -> unit) ref = ref (fun () -> ())
+
+let abort_tx r =
+  if !Runtime.sanitizer then !abort_notifier ();
+  raise (Abort_tx r)
 
 let reason_to_string = function
   | Read_locked -> "read-locked"

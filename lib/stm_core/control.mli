@@ -35,7 +35,14 @@ exception Timeout of string
     serialises, until the transaction commits. *)
 
 val abort_tx : reason -> 'a
-(** Raise {!Abort_tx}. *)
+(** Raise {!Abort_tx}.  While {!Runtime.sanitizer} is set, first invokes
+    {!abort_notifier} so the sanitizer can detect aborts that user code
+    swallows before they reach the retry loop. *)
+
+val abort_notifier : (unit -> unit) ref
+(** Called by {!abort_tx} while the sanitizer is enabled; owned by
+    {!Sanitizer} (default no-op).  Code raising {!Abort_tx} directly,
+    bypassing {!abort_tx}, is invisible to it. *)
 
 val reason_to_string : reason -> string
 val reason_index : reason -> int

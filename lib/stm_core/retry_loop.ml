@@ -24,10 +24,13 @@ let run ?cm ~stats f =
   let call_attempt n =
     let t0 = if detailed then Mclock.now_ns () else 0L in
     let fi = !Runtime.fault_injection in
+    let san = !Runtime.sanitizer in
+    let g0 = if san then Sanitizer.attempt_fence () else 0 in
     if fi then Faults.enter_attempt ();
     match f ~attempt:n with
     | result ->
       if fi then Faults.leave_attempt ();
+      if san then Sanitizer.audit_attempt ~before:g0 ~aborted:false;
       Stats.record_commit stats;
       if detailed then begin
         Stats.record_commit_latency stats (Mclock.elapsed_ns t0);
@@ -36,11 +39,13 @@ let run ?cm ~stats f =
       Ok result
     | exception Control.Abort_tx reason ->
       if fi then Faults.leave_attempt ();
+      if san then Sanitizer.audit_attempt ~before:g0 ~aborted:true;
       Stats.record_abort stats reason;
       if detailed then Stats.record_abort_latency stats (Mclock.elapsed_ns t0);
       Error reason
     | exception e ->
       if fi then Faults.leave_attempt ();
+      if san then Sanitizer.audit_attempt ~before:g0 ~aborted:false;
       raise e
   in
   (* Serial-irrevocable fallback: take the global token, then retry until

@@ -48,6 +48,28 @@ let tracing = ref false
 let trace_hook : (access -> unit) ref = ref (fun _ -> ())
 let trace_access a = !trace_hook a
 
+(* Transactional sanitizer.  [Sanitizer] installs its event handler here;
+   the flag keeps every instrumented site (lock transitions, unsafe stores,
+   peeks) at one load-and-branch while the sanitizer is off.  Events name
+   the protection element; lock events also carry the owner and the version
+   observed at the transition so the sanitizer can check balance and
+   monotonicity without holding references into the lock itself. *)
+type san_event =
+  | San_acquire of { pe : int; owner : int; version : int }
+      (** a versioned/abstract lock was taken; [version] is the committed
+          version at acquisition time (0 for abstract locks) *)
+  | San_release of { pe : int; owner : int; version : int option }
+      (** a lock was dropped; [Some v] = released to a new version
+          (commit), [None] = restored/abstract (version unchanged) *)
+  | San_unsafe_write of { pe : int; locked_owner : int option }
+      (** a non-transactional store; [locked_owner] is the holder of the
+          element's lock at the store, if it was held *)
+  | San_peek of { pe : int }  (** a non-transactional read *)
+
+let sanitizer = ref false
+let sanitizer_hook : (san_event -> unit) ref = ref (fun _ -> ())
+let sanitizer_event e = !sanitizer_hook e
+
 let retry_cap = ref 64
 
 let starvation_mode : [ `Raise | `Fallback ] ref = ref `Fallback

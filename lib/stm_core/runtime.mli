@@ -68,6 +68,30 @@ val simulated : bool ref
     style delays (contention backoff) degenerate to scheduling points so
     that simulated runs never burn cycles in [cpu_relax] loops. *)
 
+(** One shared-state event observed by the transactional sanitizer
+    ({!Sanitizer}).  Lock events carry the owner and the committed version
+    seen at the transition; stores and peeks name only the protection
+    element (plus, for stores, the lock holder at that instant). *)
+type san_event =
+  | San_acquire of { pe : int; owner : int; version : int }
+  | San_release of { pe : int; owner : int; version : int option }
+      (** [Some v]: released to a new version (commit install);
+          [None]: restored to the pre-lock stamp, or an abstract lock *)
+  | San_unsafe_write of { pe : int; locked_owner : int option }
+  | San_peek of { pe : int }
+
+val sanitizer : bool ref
+(** Owned by {!Sanitizer}: set while the sanitizer is enabled.
+    Instrumented sites consult it before building an event, so the
+    uninstrumented hot path pays one load and branch and no allocation. *)
+
+val sanitizer_hook : (san_event -> unit) ref
+(** The handler {!Sanitizer} installs; default no-op. *)
+
+val sanitizer_event : san_event -> unit
+(** Report one event to the sanitizer hook.  Callers are expected to check
+    {!sanitizer} first. *)
+
 val retry_cap : int ref
 (** Maximum number of times one [atomic] call may retry optimistically.
     What happens at the cap depends on {!starvation_mode}: under the

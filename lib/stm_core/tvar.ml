@@ -25,8 +25,19 @@ let read_consistent tv =
   if s1 <> s2 then Control.abort_tx Control.Read_inconsistent;
   (s1, v)
 
-let peek tv = tv.content
+let peek tv =
+  if !Runtime.sanitizer then
+    Runtime.sanitizer_event (Runtime.San_peek { pe = tv.id });
+  tv.content
 
 let unsafe_write tv v =
   if !Runtime.tracing then Runtime.trace_access (Runtime.Write tv.id);
+  if !Runtime.sanitizer then begin
+    let s = Vlock.stamp tv.lock in
+    let locked_owner =
+      if Vlock.locked s then Some (Vlock.owner tv.lock) else None
+    in
+    Runtime.sanitizer_event
+      (Runtime.San_unsafe_write { pe = tv.id; locked_owner })
+  end;
   tv.content <- v

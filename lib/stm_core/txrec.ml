@@ -62,6 +62,24 @@ let release_remaining t =
     Hashtbl.iter (fun pe count -> if count > 0 then emit_release t pe) t.held;
     Hashtbl.reset t.held
 
+(* Abort generation: a per-domain counter of [Control.abort_tx] raises,
+   bumped via [Control.abort_notifier] while the sanitizer is enabled.  The
+   retry loop fences it around each attempt: an attempt that ends normally
+   but saw the counter move contained a swallowed abort.  Registered with
+   the TLS registry so that, were the sanitizer ever enabled under the
+   deterministic scheduler, the counter would context-switch with the
+   logical process instead of leaking across processes. *)
+let abort_gen : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let () =
+  Runtime.register_tls
+    ~save:(fun () -> Obj.repr !(Domain.DLS.get abort_gen))
+    ~restore:(fun o -> Domain.DLS.get abort_gen := (Obj.obj o : int))
+
+let bump_abort_generation () = incr (Domain.DLS.get abort_gen)
+let abort_generation () = !(Domain.DLS.get abort_gen)
+let set_abort_generation n = Domain.DLS.get abort_gen := n
+
 let read t ~tx ~pe ~repr =
   match t with
   | None -> ()

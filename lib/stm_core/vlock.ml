@@ -36,6 +36,9 @@ let try_lock t ~owner =
   else if Atomic.compare_and_set t.stamp_cell s (s lor 1) then begin
     t.owner_id <- owner;
     t.saved <- s;
+    if !Runtime.sanitizer then
+      Runtime.sanitizer_event
+        (Runtime.San_acquire { pe = t.pe; owner; version = s lsr 1 });
     true
   end
   else false
@@ -49,10 +52,17 @@ let locked_by t ~owner =
 
 let unlock_restore t =
   if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  if !Runtime.sanitizer then
+    Runtime.sanitizer_event
+      (Runtime.San_release { pe = t.pe; owner = t.owner_id; version = None });
   Atomic.set t.stamp_cell t.saved
 
 let unlock_to t ~version =
   if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  if !Runtime.sanitizer then
+    Runtime.sanitizer_event
+      (Runtime.San_release
+         { pe = t.pe; owner = t.owner_id; version = Some version });
   Atomic.set t.stamp_cell (version lsl 1)
 
 let pp ppf t =

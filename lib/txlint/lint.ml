@@ -1,0 +1,235 @@
+(* Static lint for STM discipline.  See lint.mli for the check catalogue
+   and DESIGN.md ("Txsan") for the policy behind the whitelists. *)
+
+type kind = Catch_all | Obj_magic | Stm_escape
+
+let kind_name = function
+  | Catch_all -> "catch-all"
+  | Obj_magic -> "obj-magic"
+  | Stm_escape -> "stm-escape"
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  kind : kind;
+  msg : string;
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col
+    (kind_name f.kind) f.msg
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let finding_to_json f =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"kind":"%s","msg":"%s"}|}
+    (json_escape f.file) f.line f.col (kind_name f.kind) (json_escape f.msg)
+
+(* Whitelists: path suffixes.  Escape hatches are legitimate in engine
+   internals (commit install under the own lock), in single-domain
+   initialisation helpers and in post-run checkers; Obj.magic only in the
+   read/write-set entries where the existential is hand-rolled. *)
+let default_escape_whitelist =
+  [
+    "lib/stm_core/tvar.ml" (* the definitions themselves *);
+    "lib/stm_core/rwsets.ml" (* commit install under the own lock *);
+    "lib/stm_core/stm_intf.ml" (* interface docs name them *);
+    "lib/classic_stm/classic_stm.ml" (* Stm_intf.S re-exports *);
+    "lib/oestm/oestm.ml" (* Stm_intf.S re-exports *);
+    "lib/viewstm/viewstm.ml" (* Stm_intf.S re-exports *);
+    "lib/eec/skip_list_set.ml" (* single-domain preload *);
+    "lib/eec/sorted_chain.ml" (* single-domain preload *);
+    "lib/seqds/seqds.ml" (* single-domain bucket preload *);
+    "lib/harness/target.ml" (* benchmark population, pre-measurement *);
+    "lib/harness/chaos.ml" (* post-run invariant checks *);
+    "bin/history_check.ml" (* post-run verification *);
+    "examples/move_rebalance.ml" (* single-domain preload *);
+    "examples/insert_if_absent_race.ml" (* single-domain preload *);
+  ]
+
+let default_obj_magic_whitelist = [ "lib/stm_core/rwsets.ml" ]
+
+let escape_names = [ "peek"; "unsafe_write"; "unsafe_preload" ]
+
+(* Suffix match on '/'-normalised paths, aligned to a component boundary,
+   so "lib/harness/chaos.ml" matches "/root/repo/lib/harness/chaos.ml"
+   but not "lib/harness/not_chaos.ml". *)
+let path_matches file suffix =
+  let norm s = String.map (fun c -> if c = '\\' then '/' else c) s in
+  let file = norm file and suffix = norm suffix in
+  let lf = String.length file and ls = String.length suffix in
+  lf >= ls
+  && String.sub file (lf - ls) ls = suffix
+  && (lf = ls || file.[lf - ls - 1] = '/')
+
+let whitelisted file wl = List.exists (path_matches file) wl
+
+(* --- catch-all handler detection ------------------------------------- *)
+
+(* A pattern that matches every exception: _, a variable, or built from
+   such by alias/or/constraint/open. *)
+let rec pattern_is_catch_all (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p) ->
+    pattern_is_catch_all p
+  | Ppat_or (a, b) -> pattern_is_catch_all a || pattern_is_catch_all b
+  | _ -> false
+
+(* Does the handler body syntactically re-raise?  We accept the stdlib
+   raisers, [exit], [assert], and any qualified call whose final name is a
+   raiser by convention in this repo ([Control.abort_tx], [Alcotest.fail],
+   a local [fail]/[failf], ...).  This is a conservative syntactic check:
+   cleanup-then-reraise passes, a bare [()] or logging body does not. *)
+let body_reraises (body : Parsetree.expression) =
+  let found = ref false in
+  let is_raiser (lid : Longident.t) =
+    match lid with
+    | Lident
+        ( "raise" | "raise_notrace" | "raise_with_backtrace" | "failwith"
+        | "invalid_arg" | "exit" | "fail" | "failf" ) ->
+      true
+    | Ldot (_, ("raise" | "raise_notrace" | "raise_with_backtrace"))
+    | Ldot (_, ("abort_tx" | "fail" | "failf" | "failwith" | "invalid_arg")) ->
+      true
+    | _ -> false
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+            when is_raiser txt ->
+            found := true
+          | Pexp_assert _ -> found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.expr iter body;
+  !found
+
+(* --- the linter ------------------------------------------------------ *)
+
+let lint_structure ~file ~escape_whitelist ~obj_magic_whitelist str =
+  let findings = ref [] in
+  let add (loc : Location.t) kind msg =
+    let p = loc.loc_start in
+    findings :=
+      { file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; kind; msg }
+      :: !findings
+  in
+  let check_case ~what (c : Parsetree.case) =
+    let catch_all_pat =
+      match c.pc_lhs.ppat_desc with
+      (* [match ... with exception p -> ...] *)
+      | Ppat_exception p when what = `Match -> pattern_is_catch_all p
+      | _ -> what = `Try && pattern_is_catch_all c.pc_lhs
+    in
+    if catch_all_pat && c.pc_guard = None && not (body_reraises c.pc_rhs)
+    then
+      add c.pc_lhs.ppat_loc Catch_all
+        "catch-all exception handler without re-raise swallows \
+         Control.Abort_tx; match specific exceptions or re-raise"
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_try (_, cases) ->
+            List.iter (check_case ~what:`Try) cases
+          | Pexp_match (_, cases) ->
+            List.iter (check_case ~what:`Match) cases
+          | Pexp_ident { txt = Ldot (Lident "Obj", "magic"); loc }
+            when not (whitelisted file obj_magic_whitelist) ->
+            add loc Obj_magic
+              "Obj.magic outside lib/stm_core/rwsets.ml; the rw-set \
+               existential is the only sanctioned use"
+          | Pexp_ident { txt = Ldot (_, name); loc }
+            when List.mem name escape_names
+                 && not (whitelisted file escape_whitelist) ->
+            add loc Stm_escape
+              (Printf.sprintf
+                 "escape hatch %s used outside the whitelist; reads and \
+                  writes must go through a transaction"
+                 name)
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.structure iter str;
+  List.rev !findings
+
+let lint_string ?(escape_whitelist = default_escape_whitelist)
+    ?(obj_magic_whitelist = default_obj_magic_whitelist) ~filename source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf filename;
+  match Parse.implementation lexbuf with
+  | str ->
+    Ok
+      (lint_structure ~file:filename ~escape_whitelist ~obj_magic_whitelist
+         str)
+  | exception e -> (
+    (* Only exceptions the compiler knows how to report are parse errors;
+       anything else (Out_of_memory, a bug in this linter) propagates. *)
+    match Location.error_of_exn e with
+    | Some (`Ok report) ->
+      Error
+        (Printf.sprintf "%s: parse error: %s" filename
+           (Format.asprintf "%a" Location.print_report report))
+    | Some `Already_displayed -> Error (filename ^ ": parse error")
+    | None -> raise e)
+
+let lint_file ?escape_whitelist ?obj_magic_whitelist file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | source -> lint_string ?escape_whitelist ?obj_magic_whitelist
+                ~filename:file source
+  | exception Sys_error msg -> Error msg
+
+let lint_files ?escape_whitelist ?obj_magic_whitelist files =
+  List.fold_left
+    (fun (findings, errors) file ->
+      match lint_file ?escape_whitelist ?obj_magic_whitelist file with
+      | Ok fs -> (findings @ fs, errors)
+      | Error msg -> (findings, errors @ [ msg ]))
+    ([], []) files
+
+let ml_files_under roots =
+  let acc = ref [] in
+  let rec walk path =
+    match Sys.is_directory path with
+    | true ->
+      let base = Filename.basename path in
+      if
+        base <> "_build" && base <> "_opam"
+        && not (String.length base > 1 && base.[0] = '.')
+      then
+        Array.iter
+          (fun entry -> walk (Filename.concat path entry))
+          (Sys.readdir path)
+    | false ->
+      if Filename.check_suffix path ".ml" then acc := path :: !acc
+    | exception Sys_error _ -> ()
+  in
+  List.iter
+    (fun root -> if Sys.file_exists root then walk root)
+    roots;
+  List.sort compare !acc

@@ -1,0 +1,82 @@
+(** Static lint for STM discipline ("txlint").
+
+    Three checks, applied to OCaml implementation files ([*.ml]) with the
+    compiler-libs parser:
+
+    - {b catch-all}: an exception handler that matches every exception
+      ([with _ ->], [with e ->], an [exception _] case of a [match])
+      without a guard and without re-raising in its body.  Such handlers
+      swallow [Control.Abort_tx] and turn doomed transactions into
+      zombies — the paper's opacity argument assumes aborts always reach
+      the retry loop.  A handler whose body syntactically re-raises
+      ([raise]/[raise_notrace]/[raise_with_backtrace], [failwith],
+      [invalid_arg], [exit], an [assert], or a qualified
+      [Control.abort_tx]-style call) is accepted: cleanup-then-reraise is
+      the sanctioned pattern.
+    - {b obj-magic}: any use of [Obj.magic] outside the single whitelisted
+      site ({!default_obj_magic_whitelist}).
+    - {b stm-escape}: any mention of the escape hatches [peek],
+      [unsafe_write] or [unsafe_preload] outside the whitelisted modules
+      ({!default_escape_whitelist}) — engine internals, single-domain
+      preload helpers and post-run checkers.
+
+    Whitelists match by path {e suffix} (so absolute and relative
+    invocations agree) and are part of the repo's policy: extending one is
+    a reviewed change, not a local annotation. *)
+
+type kind =
+  | Catch_all  (** exception handler that swallows every exception *)
+  | Obj_magic  (** [Obj.magic] outside the whitelist *)
+  | Stm_escape  (** [peek]/[unsafe_write]/[unsafe_preload] outside the whitelist *)
+
+val kind_name : kind -> string
+(** Stable machine-readable name: ["catch-all"], ["obj-magic"],
+    ["stm-escape"]. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  kind : kind;
+  msg : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line:col: [kind] msg] — one line, editor-clickable. *)
+
+val finding_to_json : finding -> string
+(** One JSON object per finding. *)
+
+val default_escape_whitelist : string list
+(** Path suffixes allowed to use the escape hatches. *)
+
+val default_obj_magic_whitelist : string list
+(** Path suffixes allowed to use [Obj.magic]. *)
+
+val lint_string :
+  ?escape_whitelist:string list ->
+  ?obj_magic_whitelist:string list ->
+  filename:string ->
+  string ->
+  (finding list, string) result
+(** Lint one compilation unit given as source text.  [filename] is used
+    for locations and for whitelist matching.  [Error msg] on a parse
+    failure (the file is reported, not skipped silently). *)
+
+val lint_file :
+  ?escape_whitelist:string list ->
+  ?obj_magic_whitelist:string list ->
+  string ->
+  (finding list, string) result
+
+val lint_files :
+  ?escape_whitelist:string list ->
+  ?obj_magic_whitelist:string list ->
+  string list ->
+  finding list * string list
+(** Lint many files; returns all findings (in file order, then source
+    order) and the list of parse-error messages. *)
+
+val ml_files_under : string list -> string list
+(** Recursively collect [*.ml] files under the given roots, skipping
+    [_build], [_opam] and dot-directories; sorted. *)

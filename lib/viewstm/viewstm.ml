@@ -101,6 +101,12 @@ end) : S = struct
       end;
       Txrec.acquire ctx.root.rec_state ~pe;
       Vec.push ctx.view { Rwsets.r_lock = tv.Tvar.lock; r_seen = s; r_pe = pe };
+      (* Sanitizer strict-opacity mode: revalidate the critical views at
+         every critical read.  Weak reads stay unchecked by design — they
+         are the view-transaction relaxation. *)
+      if !Runtime.sanitizer then
+        Sanitizer.on_tx_read ~validate:(fun () ->
+            validate_views ~owner:ctx.root.root_tx ctx);
       Txrec.read ctx.root.rec_state ~tx:ctx.tx_id ~pe
         ~repr:(Recorder.repr_of_value v);
       v
@@ -151,6 +157,13 @@ end) : S = struct
         Rwsets.Wset.unlock_all_restore ctx.root.wset;
         Control.abort_tx Control.Validation_failed
       end;
+      if !Runtime.sanitizer then begin
+        let rec iter_views f c =
+          Vec.iter f c.view;
+          match c.parent with None -> () | Some p -> iter_views f p
+        in
+        Sanitizer.on_commit ~owner ~wv (fun f -> iter_views f ctx)
+      end;
       Rwsets.Wset.install_and_unlock ctx.root.wset ~wv
     end;
     Txrec.commit_tx ctx.root.rec_state ~tx:ctx.tx_id;
@@ -185,15 +198,18 @@ end) : S = struct
           { tx_id = root_tx; root; parent = None; view = Rwsets.Rset.create () }
         in
         Domain.DLS.set current (Some ctx);
+        if !Runtime.sanitizer then Sanitizer.tx_begin ~owner:root_tx;
         Txrec.begin_tx root.rec_state ~tx:root_tx;
         try
           let result = f ctx in
           commit_root ctx;
+          if !Runtime.sanitizer then Sanitizer.tx_end ~owner:root_tx;
           Domain.DLS.set current None;
           result
         with e ->
           Rwsets.Wset.unlock_all_restore root.wset;
           Txrec.abort_open root.rec_state;
+          if !Runtime.sanitizer then Sanitizer.tx_end ~owner:root_tx;
           Domain.DLS.set current None;
           raise e)
 

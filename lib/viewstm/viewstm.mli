@@ -1,0 +1,26 @@
+(** View transactions (Afek, Morrison, Tzafrir — PODC'10; Section VIII of
+    the paper): the programmer names the {e critical view} — the reads the
+    transaction's correctness depends on — and only that view is validated
+    at commit.  Weak reads are momentarily consistent and never
+    revalidated.  A child passes its view to its parent at commit
+    (outheritance), so compositions are atomic with respect to their
+    critical views.  See the implementation's header comment for the
+    paper's paragraph this makes executable. *)
+
+(** The engine interface, extended with the view-transaction relaxation. *)
+module type S = sig
+  include Stm_core.Stm_intf.S
+
+  val read_weak : ctx -> 'a tvar -> 'a
+  (** A consistent read that never joins the critical view: later changes
+      to the location do not abort this transaction.  The caller asserts
+      the transaction's correctness does not depend on the value staying
+      current. *)
+end
+
+module Make (_ : sig
+  val name : string
+end) : S
+
+(** The default view-transaction instance. *)
+module V : S

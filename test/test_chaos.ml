@@ -87,6 +87,10 @@ let test_report_shape () =
       (R.member "schema_version" parsed = Some (R.Int R.schema_version));
     Alcotest.(check bool) "kind marks the report as chaos" true
       (R.member "kind" parsed = Some (R.Str "chaos"));
+    Alcotest.(check bool) "sanitizer verdict present (null when off)" true
+      (match R.member "sanitizer" parsed with
+      | Some R.Null | Some (R.Obj _) -> true
+      | _ -> false);
     (match R.member "engines" parsed with
     | Some (R.List [ e ]) ->
       List.iter
@@ -95,7 +99,7 @@ let test_report_shape () =
             Alcotest.failf "engine entry is missing %S" key)
         [ "engine"; "seeds"; "runs_per_seed"; "schedules"; "ok";
           "failed_seeds"; "stress_ok"; "commits"; "aborts"; "starvations";
-          "fallbacks"; "timeouts"; "injected" ]
+          "fallbacks"; "timeouts"; "san_violations"; "injected" ]
     | _ -> Alcotest.fail "expected exactly one engine entry")
 
 let suite =

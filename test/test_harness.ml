@@ -204,6 +204,10 @@ let test_json_end_to_end () =
   | Error e -> Alcotest.failf "emitted report is not valid JSON: %s" e
   | Ok json ->
     let module R = Harness.Report in
+    Alcotest.(check bool) "sanitizer verdict present (null when off)" true
+      (match R.member "sanitizer" json with
+      | Some R.Null | Some (R.Obj _) -> true
+      | _ -> false);
     let fig =
       match R.member "figures" json with
       | Some (R.List [ fig ]) -> fig

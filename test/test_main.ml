@@ -1,3 +1,20 @@
+(* TXSAN=1 runs the whole suite with the transactional sanitizer on; the
+   final gate suite then asserts the run produced zero violations (the
+   deliberate-violation tests in Test_sanitizer reset behind themselves). *)
+let txsan = Sys.getenv_opt "TXSAN" <> None
+
+let () = if txsan then Stm_core.Sanitizer.enable ()
+
+let txsan_gate =
+  [ Alcotest.test_case "zero violations over the whole run" `Quick
+      (fun () ->
+        List.iter
+          (fun v ->
+            Format.printf "%a@." Stm_core.Sanitizer.pp_violation v)
+          (Stm_core.Sanitizer.violations ());
+        Alcotest.(check int) "violations" 0
+          (Stm_core.Sanitizer.violation_count ())) ]
+
 let () =
   Alcotest.run "composing_relaxed_transactions"
     ([ ("vlock", Test_vlock.suite);
@@ -20,6 +37,9 @@ let () =
        ("cm", Test_cm.suite);
        ("faults", Test_faults.suite);
        ("chaos", Test_chaos.suite);
+       ("sanitizer", Test_sanitizer.suite);
+       ("txlint", Test_txlint.suite);
        ("viewstm", Test_viewstm.suite);
        ("stm:View-STM", Test_viewstm.battery_suite) ]
-    @ Test_stm_semantics.suites @ Test_eec.suites @ Test_collections.suites)
+    @ Test_stm_semantics.suites @ Test_eec.suites @ Test_collections.suites
+    @ if txsan then [ ("txsan-gate", txsan_gate) ] else [])

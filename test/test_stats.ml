@@ -199,6 +199,7 @@ let golden_json =
     "backoff_max": 16384,
     "faults": null
   },
+  "sanitizer": null,
   "figures": [
     {
       "figure": "6a",
@@ -287,18 +288,21 @@ let test_json_golden () =
   let saved_timeout = !Runtime.tx_timeout_ns in
   let saved_init, saved_max = Backoff.defaults () in
   let saved_faults = Faults.current () in
+  let saved_san = Sanitizer.enabled () in
   Cm.set_policy Cm.Backoff;
   Runtime.retry_cap := 64;
   Runtime.starvation_mode := `Fallback;
   Runtime.tx_timeout_ns := None;
   Backoff.set_defaults ~init:16 ~max_window:16384 ();
   Faults.disable ();
+  Sanitizer.disable ();
   let restore () =
     Cm.set_policy saved_policy;
     Runtime.retry_cap := saved_cap;
     Runtime.starvation_mode := saved_mode;
     Runtime.tx_timeout_ns := saved_timeout;
     Backoff.set_defaults ~init:saved_init ~max_window:saved_max ();
+    if saved_san then Sanitizer.enable ();
     match saved_faults with None -> () | Some c -> Faults.enable c
   in
   let actual =

@@ -1,0 +1,113 @@
+(* The static STM-discipline lint (lib/txlint/lint.ml).
+
+   Fixture sources are linted in-memory with [Lint.lint_string]; the
+   executable wrapper (bin/txlint.ml) only adds the file walk and exit
+   codes around it. *)
+
+let findings = Alcotest.testable Lint.pp_finding ( = )
+
+let lint ?(filename = "lib/somewhere/code.ml") src =
+  match Lint.lint_string ~filename src with
+  | Ok fs -> fs
+  | Error e -> Alcotest.failf "fixture did not parse: %s" e
+
+let test_catch_all_flagged () =
+  match lint "let f x = try x () with _ -> ()" with
+  | [ f ] ->
+    Alcotest.(check bool) "kind" true (f.Lint.kind = Lint.Catch_all);
+    Alcotest.(check int) "line" 1 f.Lint.line;
+    Alcotest.(check string) "stable kind name" "catch-all"
+      (Lint.kind_name f.Lint.kind)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_catch_all_variants () =
+  let flagged src =
+    List.exists (fun f -> f.Lint.kind = Lint.Catch_all) (lint src)
+  in
+  Alcotest.(check bool) "with e -> log" true
+    (flagged "let f x = try x () with e -> ignore e");
+  Alcotest.(check bool) "match exception _ ->" true
+    (flagged "let f x = match x () with v -> v | exception _ -> 0");
+  Alcotest.(check bool) "or-pattern hiding a catch-all" true
+    (flagged "let f x = try x () with Not_found | _ -> 0");
+  Alcotest.(check bool) "specific exception ok" false
+    (flagged "let f x = try x () with Not_found -> 0");
+  Alcotest.(check bool) "re-raise ok" false
+    (flagged "let f x = try x () with e -> cleanup (); raise e");
+  Alcotest.(check bool) "qualified abort_tx ok" false
+    (flagged "let f x = try x () with _ -> Control.abort_tx Explicit");
+  Alcotest.(check bool) "failwith ok" false
+    (flagged "let f x = try x () with e -> failwith (Printexc.to_string e)");
+  Alcotest.(check bool) "guarded handler ok" false
+    (flagged "let f x = try x () with e when e = Not_found -> 0")
+
+let test_obj_magic () =
+  let fs = lint "let f (x : int) : string = Obj.magic x" in
+  Alcotest.(check bool) "flagged" true
+    (List.exists (fun f -> f.Lint.kind = Lint.Obj_magic) fs);
+  (* The one sanctioned site. *)
+  let fs =
+    lint ~filename:"/root/repo/lib/stm_core/rwsets.ml"
+      "let f (x : int) : string = Obj.magic x"
+  in
+  Alcotest.(check (list findings)) "whitelisted" [] fs
+
+let test_stm_escape () =
+  let src = "let f tv = Stm_core.Tvar.unsafe_write tv 1" in
+  let fs = lint src in
+  Alcotest.(check bool) "unsafe_write flagged" true
+    (List.exists (fun f -> f.Lint.kind = Lint.Stm_escape) fs);
+  Alcotest.(check bool) "peek flagged" true
+    (List.exists
+       (fun f -> f.Lint.kind = Lint.Stm_escape)
+       (lint "let f tv = S.peek tv"));
+  (* Whitelisted modules may use them (suffix match, absolute path). *)
+  Alcotest.(check (list findings)) "whitelisted harness site" []
+    (lint ~filename:"/root/repo/lib/harness/target.ml" src);
+  (* ...but the suffix must align to a path component. *)
+  Alcotest.(check bool) "suffix cannot match mid-name" true
+    (lint ~filename:"lib/harness/not_target.ml" src <> [])
+
+let test_parse_error_reported () =
+  match Lint.lint_string ~filename:"broken.ml" "let = (" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg ->
+    Alcotest.(check bool) "names the file" true
+      (String.length msg >= 6 && String.sub msg 0 6 = "broken")
+
+(* The whole repository must lint clean — the committed whitelist is the
+   policy.  Tests run from _build/default/test, so walk up to the nearest
+   directory that has the source tree (dune copies it into the build
+   context). *)
+let test_repo_is_clean () =
+  let rec find_root dir =
+    if Sys.file_exists (Filename.concat dir "dune-project")
+       && Sys.file_exists (Filename.concat dir "lib")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_root parent
+  in
+  match find_root (Sys.getcwd ()) with
+  | None -> Alcotest.fail "could not locate the source tree"
+  | Some root ->
+    let roots =
+      List.filter Sys.file_exists
+        (List.map (Filename.concat root) [ "lib"; "bin"; "examples" ])
+    in
+    let files = Lint.ml_files_under roots in
+    Alcotest.(check bool) "found the repo sources" true
+      (List.length files > 30);
+    let fs, errors = Lint.lint_files files in
+    Alcotest.(check (list findings)) "no findings on the repo" [] fs;
+    Alcotest.(check (list Alcotest.string)) "no parse errors" [] errors
+
+let suite =
+  [ Alcotest.test_case "catch-all flagged" `Quick test_catch_all_flagged;
+    Alcotest.test_case "catch-all variants" `Quick test_catch_all_variants;
+    Alcotest.test_case "Obj.magic outside whitelist" `Quick test_obj_magic;
+    Alcotest.test_case "escape hatches outside whitelist" `Quick
+      test_stm_escape;
+    Alcotest.test_case "parse errors reported" `Quick
+      test_parse_error_reported;
+    Alcotest.test_case "repo lints clean" `Quick test_repo_is_clean ]
