@@ -98,11 +98,43 @@ let run_sweep ~detailed ~json =
         r)
       Harness.Figures.all
   in
-  match json with
+  (match json with
   | None -> ()
   | Some file ->
     Harness.Report.write_file file (Harness.Report.report results);
-    Printf.printf "## wrote %s\n%!" file
+    Printf.printf "## wrote %s\n%!" file);
+  results
+
+(* [--compare BASELINE.json]: per-series ops/ms deltas of this run against
+   a previously written report.  With [--regress-pct P], exit non-zero if
+   any series lost more than P percent; without it, report only. *)
+let run_compare ~baseline_file ~regress_pct results =
+  match Harness.Compare.load baseline_file with
+  | Error msg ->
+    Printf.eprintf "## compare: cannot load %s: %s\n" baseline_file msg;
+    exit 2
+  | Ok baseline ->
+    let current = Harness.Report.report results in
+    let deltas = Harness.Compare.diff ~baseline ~current in
+    Printf.printf "\n## Comparison against %s\n%!" baseline_file;
+    if deltas = [] then
+      print_endline "## no overlapping (figure, series, threads) points"
+    else Format.printf "%a%!" Harness.Compare.pp_table deltas;
+    match regress_pct with
+    | None -> ()
+    | Some threshold_pct ->
+      let bad = Harness.Compare.regressions ~threshold_pct deltas in
+      if bad <> [] then begin
+        Printf.eprintf "## compare: %d series regressed more than %.1f%%\n"
+          (List.length bad) threshold_pct;
+        List.iter
+          (fun d -> Format.eprintf "##   %a@." Harness.Compare.pp_delta d)
+          bad;
+        exit 1
+      end
+      else
+        Printf.printf "## compare: no series regressed more than %.1f%%\n%!"
+          threshold_pct
 
 let () =
   let argv = Sys.argv in
@@ -130,7 +162,22 @@ let () =
         | None -> failwith (flag ^ " wants an integer, got " ^ v))
       (find_value flag)
   in
+  let float_value flag =
+    Option.map
+      (fun v ->
+        match float_of_string_opt v with
+        | Some f -> f
+        | None -> failwith (flag ^ " wants a number, got " ^ v))
+      (find_value flag)
+  in
   let json = find_value "--json" in
+  let compare_file = find_value "--compare" in
+  let regress_pct = float_value "--regress-pct" in
+  (* Global-clock policy (gv1 | gv4 | gv5), recorded in the report config;
+     see DESIGN.md §5f for what each variant trades. *)
+  Option.iter
+    (fun p -> Stm_core.Clock.set_policy (Stm_core.Clock.policy_of_string p))
+    (find_value "--clock");
   (* Robustness knobs: contention-manager policy, retry cap, backoff
      window parameters and fault injection.  They configure process-wide
      state before any measurement starts and are recorded in the JSON
@@ -158,7 +205,14 @@ let () =
   end;
   if detailed then Stm_core.Stats.set_detailed true;
   if not skip_micro then run_micro ();
-  if not skip_sweep then run_sweep ~detailed:(detailed || json <> None) ~json;
+  if not skip_sweep then begin
+    let results = run_sweep ~detailed:(detailed || json <> None) ~json in
+    Option.iter
+      (fun baseline_file -> run_compare ~baseline_file ~regress_pct results)
+      compare_file
+  end
+  else if compare_file <> None then
+    prerr_endline "## compare: needs the sweep; drop --skip-sweep";
   if sanitizer then begin
     let n = Stm_core.Sanitizer.violation_count () in
     if n > 0 then begin

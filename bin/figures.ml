@@ -19,7 +19,7 @@ let threads_conv = Arg.conv (parse_threads, fun ppf l ->
     Format.fprintf ppf "%s" (String.concat "," (List.map string_of_int l)))
 
 let run_figures figure_str threads duration runs size_exp seed full csv json
-    cm retry_cap backoff_init backoff_max faults sanitizer =
+    cm clock retry_cap backoff_init backoff_max faults sanitizer =
   (* Robustness knobs first: they configure process-wide state that the
      sweep reads, and the JSON report records them in its "config". *)
   (match cm with
@@ -27,6 +27,14 @@ let run_figures figure_str threads duration runs size_exp seed full csv json
   | Some p ->
     (match Stm_core.Cm.policy_of_string p with
     | p -> Stm_core.Cm.set_policy p
+    | exception Invalid_argument m ->
+      Printf.eprintf "%s\n" m;
+      exit 2));
+  (match clock with
+  | None -> ()
+  | Some p ->
+    (match Stm_core.Clock.policy_of_string p with
+    | p -> Stm_core.Clock.set_policy p
     | exception Invalid_argument m ->
       Printf.eprintf "%s\n" m;
       exit 2));
@@ -150,6 +158,13 @@ let cmd =
            ~doc:"Contention-manager policy: backoff (default), karma or \
                  timestamp.")
   in
+  let clock =
+    Arg.(value & opt (some string) None & info [ "clock" ] ~docv:"POLICY"
+           ~doc:"Global-version-clock policy: gv1 (default, fetch-and-add \
+                 per commit), gv4 (CAS once, adopt the winner's value on \
+                 failure) or gv5 (commit at read+2, bump the clock on \
+                 aborts).  Recorded in the JSON report config.")
+  in
   let retry_cap =
     Arg.(value & opt (some int) None & info [ "retry-cap" ] ~docv:"N"
            ~doc:"Optimistic retries before escalating to the \
@@ -181,7 +196,7 @@ let cmd =
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the figures of Composing Relaxed Transactions (IPDPS'13)")
     Term.(const run_figures $ figure $ threads $ duration $ runs $ size_exp
-          $ seed $ full $ csv $ json $ cm $ retry_cap $ backoff_init
+          $ seed $ full $ csv $ json $ cm $ clock $ retry_cap $ backoff_init
           $ backoff_max $ faults $ sanitizer)
 
 let () = exit (Cmd.eval' cmd)

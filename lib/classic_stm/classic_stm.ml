@@ -84,7 +84,7 @@ module Make (P : POLICY) : Stm_intf.S = struct
       let s, v = Tvar.read_consistent tv in
       if Vlock.version_of s > ctx.rv then begin
         if not P.extend_on_read then Control.abort_tx Control.Read_too_new;
-        let now = Global_clock.now () in
+        let now = Clock.now () in
         if Rwsets.Rset.validate ctx.rset ~owner:ctx.tx_id then ctx.rv <- now
         else Control.abort_tx Control.Read_too_new
       end;
@@ -137,7 +137,12 @@ module Make (P : POLICY) : Stm_intf.S = struct
     if not (Rwsets.Wset.is_empty ctx.wset) then begin
       if not (Rwsets.Wset.lock_all ctx.wset ~owner:ctx.tx_id) then
         Control.abort_tx Control.Lock_contention;
-      let wv = Global_clock.tick () in
+      (* The locks are held, so [max_version] is stable: it is the GV5
+         floor keeping write versions strictly above anything already
+         installed at these locations (GV1/GV4 never consult it). *)
+      let wv =
+        Clock.tick ~floor:(fun () -> Rwsets.Wset.max_version ctx.wset) ()
+      in
       if not (Rwsets.Rset.validate ctx.rset ~owner:ctx.tx_id) then begin
         Rwsets.Wset.unlock_all_restore ctx.wset;
         Control.abort_tx Control.Validation_failed
@@ -165,7 +170,7 @@ module Make (P : POLICY) : Stm_intf.S = struct
     Retry_loop.run ~stats (fun ~attempt:_ ->
         let tx_id = Runtime.fresh_tx_id () in
         let ctx =
-          { tx_id; cur_tx = tx_id; rv = Global_clock.now ();
+          { tx_id; cur_tx = tx_id; rv = Clock.now ();
             rset = Rwsets.Rset.create (); wset = Rwsets.Wset.create ();
             rec_state = Txrec.create () }
         in

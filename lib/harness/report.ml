@@ -376,6 +376,10 @@ let config_to_json () =
   in
   Obj
     [ ("cm", Str (Stm_core.Cm.policy_name (Stm_core.Cm.current_policy ())));
+      (* Additive since the clock grew GV1/GV4/GV5 policies; the schema
+         version stays 2 (absent = "gv1" in older reports). *)
+      ( "clock",
+        Str (Stm_core.Clock.policy_name (Stm_core.Clock.current_policy ())) );
       ("retry_cap", Int !Stm_core.Runtime.retry_cap);
       ( "starvation_mode",
         Str

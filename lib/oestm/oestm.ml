@@ -134,7 +134,7 @@ module Make (C : CONFIG) : S_EXT = struct
 
   let extend_or_abort ctx =
     let owner = ctx.root.root_tx in
-    let now = Global_clock.now () in
+    let now = Clock.now () in
     if validate_levels ~owner ctx then ctx.root.rv <- now
     else Control.abort_tx Control.Read_too_new
 
@@ -296,7 +296,9 @@ module Make (C : CONFIG) : S_EXT = struct
     else begin
       if not (Rwsets.Wset.lock_all ctx.root.wset ~owner) then
         Control.abort_tx Control.Lock_contention;
-      let wv = Global_clock.tick () in
+      let wv =
+        Clock.tick ~floor:(fun () -> Rwsets.Wset.max_version ctx.root.wset) ()
+      in
       if not (validate_levels ~owner ctx) then begin
         Rwsets.Wset.unlock_all_restore ctx.root.wset;
         Control.abort_tx Control.Validation_failed
@@ -341,7 +343,7 @@ module Make (C : CONFIG) : S_EXT = struct
     Retry_loop.run ~stats (fun ~attempt:_ ->
         let root_tx = Runtime.fresh_tx_id () in
         let root =
-          { root_tx; wset = Rwsets.Wset.create (); rv = Global_clock.now ();
+          { root_tx; wset = Rwsets.Wset.create (); rv = Clock.now ();
             rec_state = Txrec.create () }
         in
         let ctx =

@@ -1,11 +1,3 @@
-let clock = Atomic.make 0
-
-let now () =
-  if !Runtime.tracing then Runtime.trace_access (Runtime.Read Runtime.clock_pe);
-  Atomic.get clock
-
-let tick () =
-  if !Runtime.tracing then Runtime.trace_access (Runtime.Write Runtime.clock_pe);
-  Atomic.fetch_and_add clock 1 + 1
-
-let reset_for_testing () = Atomic.set clock 0
+(* Compatibility alias: the clock grew contention policies and moved to
+   [Clock]; existing call sites keep the historical name. *)
+include Clock

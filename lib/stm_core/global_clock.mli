@@ -1,18 +1,5 @@
-(** The global version clock shared by all STM instances (TL2-style).
+(** Historical alias of {!Clock}, the global version clock.  New code
+    should use {!Clock} directly; this name predates the pluggable
+    GV1/GV4/GV5 policies. *)
 
-    Commit operations of writing transactions increment the clock; readers
-    sample it to obtain validity intervals.  A single process-wide clock is
-    used so that transactions from different STM implementations running in
-    the same program remain mutually ordered, which the cross-STM tests rely
-    on. *)
-
-val now : unit -> int
-(** Current clock value. *)
-
-val tick : unit -> int
-(** Atomically increment the clock and return the {e new} value, which
-    becomes the write version of the committing transaction. *)
-
-val reset_for_testing : unit -> unit
-(** Reset to zero.  Only for isolated unit tests; never call while
-    transactions are live. *)
+include module type of Clock

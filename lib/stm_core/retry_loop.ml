@@ -40,6 +40,10 @@ let run ?cm ~stats f =
     | exception Control.Abort_tx reason ->
       if fi then Faults.leave_attempt ();
       if san then Sanitizer.audit_attempt ~before:g0 ~aborted:true;
+      (* GV5 bumps the clock on aborts (no-op for GV1/GV4): a transaction
+         that aborted on a lazily installed future version pulls the clock
+         up so its next attempt's read stamp can cover that version. *)
+      Clock.on_abort ();
       Stats.record_abort stats reason;
       if detailed then Stats.record_abort_latency stats (Mclock.elapsed_ns t0);
       Error reason

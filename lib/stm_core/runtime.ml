@@ -70,6 +70,15 @@ let sanitizer = ref false
 let sanitizer_hook : (san_event -> unit) ref = ref (fun _ -> ())
 let sanitizer_event e = !sanitizer_hook e
 
+(* Global-clock policy (see [Clock]).  Lives here, below the clock module
+   itself, so that engines and the sanitizer can branch on the policy
+   without a dependency cycle.  [GV1]: fetch-and-add per writer commit.
+   [GV4]: CAS once, adopt the winner's value on failure.  [GV5]: commit at
+   [read + 2] without writing the clock; bump it on aborts instead. *)
+type clock_policy = GV1 | GV4 | GV5
+
+let clock_policy = ref GV1
+
 let retry_cap = ref 64
 
 let starvation_mode : [ `Raise | `Fallback ] ref = ref `Fallback
@@ -85,7 +94,7 @@ let tx_timeout_ns : int option ref = ref None
    holder's next attempt validates trivially — it commits after at most the
    in-flight stragglers finish. *)
 module Serial = struct
-  let holder = Atomic.make (-1)
+  let holder = Padding.atomic (-1)
 
   let active () = Atomic.get holder >= 0
   let mine () = Atomic.get holder = current_proc ()

@@ -1,7 +1,10 @@
-(* Plain atomic counters: domain ids are not bounded across a program run
-   (every spawn gets a fresh id), so per-domain sharding would leak; and the
-   counters are only touched once per transaction attempt, far from the
-   read/write hot path. *)
+(* Counters are striped across a fixed power-of-two number of cache-line-
+   padded shards, indexed by [domain id land mask]: recording never shares
+   a line across domains (modulo mask collisions when more domains than
+   stripes run), and the masking keeps the table bounded even though
+   domain ids grow without bound across a program run (every spawn gets a
+   fresh id).  [snapshot] merges the shards, so the public interface is
+   still one logical counter set per STM instance. *)
 
 (* Detailed metrics (latency histograms, footprints, retry depths) cost two
    clock reads and a handful of atomic increments per transaction attempt,
@@ -73,7 +76,7 @@ module Hist = struct
     if s.(!top) = 0 then 0 else upper_bound !top
 end
 
-type t = {
+type shard = {
   commits : int Atomic.t;
   aborts : int Atomic.t;
   starvations : int Atomic.t;
@@ -86,6 +89,21 @@ type t = {
   write_set_size : Hist.t;
   retry_depth : Hist.t;
 }
+
+type t = shard array
+
+(* Power of two covering the machine's domains, clamped to [8, 64]:
+   masking the domain id into this range keeps one shard per domain on
+   typical machines without letting the per-instance footprint grow with
+   the (unbounded) domain-id space. *)
+let stripes =
+  let cores = Domain.recommended_domain_count () in
+  let rec up n = if n >= cores || n >= 64 then n else up (n * 2) in
+  up 8
+
+let stripe_mask = stripes - 1
+
+let shard (t : t) = t.((Domain.self () :> int) land stripe_mask)
 
 type snapshot = {
   commits : int;
@@ -101,70 +119,96 @@ type snapshot = {
   retry_depth : Hist.snapshot;
 }
 
-let create () : t =
-  { commits = Atomic.make 0;
-    aborts = Atomic.make 0;
-    starvations = Atomic.make 0;
-    fallbacks = Atomic.make 0;
-    timeouts = Atomic.make 0;
-    by_reason = Array.init Control.reason_count (fun _ -> Atomic.make 0);
-    commit_latency_ns = Hist.create ();
-    abort_latency_ns = Hist.create ();
-    read_set_size = Hist.create ();
-    write_set_size = Hist.create ();
-    retry_depth = Hist.create () }
+(* The five scalar counters are the per-attempt hot spots, so each gets
+   its own padded cell; the histograms and the per-reason array are bulky
+   and colder (detailed mode / abort path), so only the shard record
+   itself is padded for them. *)
+let make_shard () : shard =
+  Padding.copy_as_padded
+    ({ commits = Padding.atomic 0;
+      aborts = Padding.atomic 0;
+      starvations = Padding.atomic 0;
+      fallbacks = Padding.atomic 0;
+      timeouts = Padding.atomic 0;
+      by_reason = Array.init Control.reason_count (fun _ -> Atomic.make 0);
+      commit_latency_ns = Hist.create ();
+      abort_latency_ns = Hist.create ();
+      read_set_size = Hist.create ();
+      write_set_size = Hist.create ();
+      retry_depth = Hist.create () }
+      : shard)
 
-let record_commit (t : t) = ignore (Atomic.fetch_and_add t.commits 1)
+let create () : t = Array.init stripes (fun _ -> make_shard ())
+
+let record_commit (t : t) = ignore (Atomic.fetch_and_add (shard t).commits 1)
 
 let record_abort (t : t) reason =
-  ignore (Atomic.fetch_and_add t.aborts 1);
-  ignore (Atomic.fetch_and_add t.by_reason.(Control.reason_index reason) 1)
+  let sh = shard t in
+  ignore (Atomic.fetch_and_add sh.aborts 1);
+  ignore (Atomic.fetch_and_add sh.by_reason.(Control.reason_index reason) 1)
 
-let record_starvation (t : t) = ignore (Atomic.fetch_and_add t.starvations 1)
-let record_fallback (t : t) = ignore (Atomic.fetch_and_add t.fallbacks 1)
-let record_timeout (t : t) = ignore (Atomic.fetch_and_add t.timeouts 1)
+let record_starvation (t : t) =
+  ignore (Atomic.fetch_and_add (shard t).starvations 1)
 
-let record_commit_latency (t : t) ns = Hist.record t.commit_latency_ns ns
-let record_abort_latency (t : t) ns = Hist.record t.abort_latency_ns ns
+let record_fallback (t : t) =
+  ignore (Atomic.fetch_and_add (shard t).fallbacks 1)
+
+let record_timeout (t : t) =
+  ignore (Atomic.fetch_and_add (shard t).timeouts 1)
+
+let record_commit_latency (t : t) ns = Hist.record (shard t).commit_latency_ns ns
+let record_abort_latency (t : t) ns = Hist.record (shard t).abort_latency_ns ns
 
 let record_rwset_sizes (t : t) ~reads ~writes =
-  Hist.record t.read_set_size reads;
-  Hist.record t.write_set_size writes
+  let sh = shard t in
+  Hist.record sh.read_set_size reads;
+  Hist.record sh.write_set_size writes
 
-let record_retry_depth (t : t) n = Hist.record t.retry_depth n
+let record_retry_depth (t : t) n = Hist.record (shard t).retry_depth n
 
 let snapshot (t : t) =
+  let sum (f : shard -> int Atomic.t) =
+    Array.fold_left (fun acc sh -> acc + Atomic.get (f sh)) 0 t
+  in
+  let merge_hist (f : shard -> Hist.t) =
+    Array.fold_left (fun acc sh -> Hist.add acc (Hist.snapshot (f sh)))
+      (Hist.empty ()) t
+  in
   let by_reason =
     List.filter_map
       (fun r ->
-        let n = Atomic.get t.by_reason.(Control.reason_index r) in
+        let i = Control.reason_index r in
+        let n = sum (fun sh -> sh.by_reason.(i)) in
         if n = 0 then None else Some (r, n))
       Control.all_reasons
   in
-  { commits = Atomic.get t.commits;
-    aborts = Atomic.get t.aborts;
-    starvations = Atomic.get t.starvations;
-    fallbacks = Atomic.get t.fallbacks;
-    timeouts = Atomic.get t.timeouts;
+  { commits = sum (fun sh -> sh.commits);
+    aborts = sum (fun sh -> sh.aborts);
+    starvations = sum (fun sh -> sh.starvations);
+    fallbacks = sum (fun sh -> sh.fallbacks);
+    timeouts = sum (fun sh -> sh.timeouts);
     by_reason;
-    commit_latency_ns = Hist.snapshot t.commit_latency_ns;
-    abort_latency_ns = Hist.snapshot t.abort_latency_ns;
-    read_set_size = Hist.snapshot t.read_set_size;
-    write_set_size = Hist.snapshot t.write_set_size;
-    retry_depth = Hist.snapshot t.retry_depth }
+    commit_latency_ns = merge_hist (fun sh -> sh.commit_latency_ns);
+    abort_latency_ns = merge_hist (fun sh -> sh.abort_latency_ns);
+    read_set_size = merge_hist (fun sh -> sh.read_set_size);
+    write_set_size = merge_hist (fun sh -> sh.write_set_size);
+    retry_depth = merge_hist (fun sh -> sh.retry_depth) }
 
 let reset (t : t) =
-  Atomic.set t.commits 0;
-  Atomic.set t.aborts 0;
-  Atomic.set t.starvations 0;
-  Atomic.set t.fallbacks 0;
-  Atomic.set t.timeouts 0;
-  Array.iter (fun c -> Atomic.set c 0) t.by_reason;
-  Hist.reset t.commit_latency_ns;
-  Hist.reset t.abort_latency_ns;
-  Hist.reset t.read_set_size;
-  Hist.reset t.write_set_size;
-  Hist.reset t.retry_depth
+  Array.iter
+    (fun (sh : shard) ->
+      Atomic.set sh.commits 0;
+      Atomic.set sh.aborts 0;
+      Atomic.set sh.starvations 0;
+      Atomic.set sh.fallbacks 0;
+      Atomic.set sh.timeouts 0;
+      Array.iter (fun c -> Atomic.set c 0) sh.by_reason;
+      Hist.reset sh.commit_latency_ns;
+      Hist.reset sh.abort_latency_ns;
+      Hist.reset sh.read_set_size;
+      Hist.reset sh.write_set_size;
+      Hist.reset sh.retry_depth)
+    t
 
 let empty_snapshot () : snapshot =
   { commits = 0;

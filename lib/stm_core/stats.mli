@@ -1,10 +1,13 @@
 (** Per-STM metrics: commit/abort counters, per-reason abort breakdown,
     and (behind {!set_detailed}) latency/footprint/retry histograms.
 
-    Each STM implementation owns one [t].  All counters are plain atomics,
-    touched once per transaction attempt — far from the read/write hot
-    path.  The histograms are lock-free fixed arrays of atomic buckets, so
-    recording never allocates and never takes a lock. *)
+    Each STM implementation owns one [t].  Internally the counters are
+    striped across cache-line-padded per-domain shards (indexed by domain
+    id, masked into a fixed power-of-two range), so concurrent recording
+    never ping-pongs a shared line; {!snapshot} merges the shards, so
+    callers still see one logical counter set.  The histograms are
+    lock-free fixed arrays of atomic buckets, so recording never allocates
+    and never takes a lock. *)
 
 (** {1 Detailed-metrics flag}
 

@@ -15,8 +15,13 @@ type t = {
 
 let no_pe = -2
 
+(* Both the stamp cell and the record around it are padded: the stamp is
+   CASed by every writer of the location, and [owner_id]/[saved] are
+   written on each acquisition — sharing a line with a neighbouring lock
+   would couple unrelated locations' commit paths. *)
 let create ?(pe = no_pe) () =
-  { stamp_cell = Atomic.make 0; owner_id = -1; saved = 0; pe }
+  Padding.copy_as_padded
+    { stamp_cell = Padding.atomic 0; owner_id = -1; saved = 0; pe }
 
 let pe t = t.pe
 

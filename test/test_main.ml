@@ -5,6 +5,14 @@ let txsan = Sys.getenv_opt "TXSAN" <> None
 
 let () = if txsan then Stm_core.Sanitizer.enable ()
 
+(* CLOCK=gv1|gv4|gv5 runs the whole suite under that global-clock policy
+   (the CI matrix lane); tests that pin a policy save and restore it, so
+   the ambient choice survives across suites. *)
+let () =
+  match Sys.getenv_opt "CLOCK" with
+  | None -> ()
+  | Some p -> Stm_core.Clock.set_policy (Stm_core.Clock.policy_of_string p)
+
 let txsan_gate =
   [ Alcotest.test_case "zero violations over the whole run" `Quick
       (fun () ->
@@ -31,6 +39,7 @@ let () =
        ("ablation", Test_ablation.suite);
        ("theorems", Test_theorems.suite);
        ("dpor", Test_dpor.suite);
+       ("clock", Test_clock.suite);
        ("linearizability", Test_linearizability.suite);
        ("tx_queue_map", Test_tx_queue_map.suite);
        ("backoff_retry", Test_backoff_retry.suite);

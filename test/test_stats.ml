@@ -40,6 +40,80 @@ let test_parallel_counting () =
   Alcotest.(check int) "parallel commits" 4000 snap.Stats.commits;
   Alcotest.(check int) "parallel aborts" 4000 snap.Stats.aborts
 
+(* Striped recording: each domain lands in its own shard (modulo mask
+   collisions); the merged snapshot must equal the per-domain ground
+   truth, and histogram bucket totals must be preserved by the merge. *)
+let test_striped_ground_truth () =
+  let s = Stats.create () in
+  let counts = [| 500; 700; 900; 1100 |] in
+  let domains =
+    List.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            for i = 1 to counts.(k) do
+              Stats.record_commit s;
+              if i mod 2 = 0 then Stats.record_abort s Control.Read_locked;
+              Stats.record_commit_latency s i
+            done))
+  in
+  List.iter Domain.join domains;
+  let total = Array.fold_left ( + ) 0 counts in
+  let snap = Stats.snapshot s in
+  Alcotest.(check int) "merged commits" total snap.Stats.commits;
+  Alcotest.(check int) "merged aborts"
+    (Array.fold_left (fun acc n -> acc + (n / 2)) 0 counts)
+    snap.Stats.aborts;
+  Alcotest.(check int) "merged by_reason" snap.Stats.aborts
+    (List.assoc Control.Read_locked snap.Stats.by_reason);
+  (* Per-bucket ground truth, replayed sequentially. *)
+  let expected = Array.make Stats.Hist.buckets 0 in
+  Array.iter
+    (fun n ->
+      for i = 1 to n do
+        let b = Stats.Hist.bucket_of i in
+        expected.(b) <- expected.(b) + 1
+      done)
+    counts;
+  Alcotest.(check (array int)) "merged hist buckets" expected
+    snap.Stats.commit_latency_ns;
+  Alcotest.(check int) "merged hist count" total
+    (Stats.Hist.count snap.Stats.commit_latency_ns)
+
+let record_one s n =
+  let n = abs n in
+  match n mod 6 with
+  | 0 -> Stats.record_commit s
+  | 1 ->
+    Stats.record_abort s
+      (List.nth Control.all_reasons (n mod Control.reason_count))
+  | 2 -> Stats.record_commit_latency s (n * 17)
+  | 3 -> Stats.record_abort_latency s (n * 13)
+  | 4 -> Stats.record_rwset_sizes s ~reads:(n mod 100) ~writes:(n mod 50)
+  | _ -> Stats.record_retry_depth s (n mod 20)
+
+(* The striped implementation is observationally equivalent to a
+   monolithic counter set: the same ops recorded from one domain (one
+   shard) and spread over four domains (several shards) snapshot
+   identically. *)
+let prop_striped_equals_monolithic =
+  QCheck.Test.make
+    ~name:"striped recording merges to the monolithic snapshot" ~count:25
+    QCheck.(list small_int)
+    (fun ops ->
+      let mono =
+        let t = Stats.create () in
+        List.iter (record_one t) ops;
+        Stats.snapshot t
+      in
+      let s = Stats.create () in
+      let arr = Array.of_list ops in
+      let domains =
+        List.init 4 (fun k ->
+            Domain.spawn (fun () ->
+                Array.iteri (fun i n -> if i mod 4 = k then record_one s n) arr))
+      in
+      List.iter Domain.join domains;
+      Stats.snapshot s = mono)
+
 (* ------------------------------------------------------------------ *)
 (* Log-bucketed histograms                                             *)
 
@@ -93,19 +167,7 @@ let test_hist_percentiles () =
    cheap generator of arbitrary snapshots. *)
 let snap_of_ops ops =
   let s = Stats.create () in
-  List.iter
-    (fun n ->
-      let n = abs n in
-      match n mod 6 with
-      | 0 -> Stats.record_commit s
-      | 1 ->
-        Stats.record_abort s
-          (List.nth Control.all_reasons (n mod Control.reason_count))
-      | 2 -> Stats.record_commit_latency s (n * 17)
-      | 3 -> Stats.record_abort_latency s (n * 13)
-      | 4 -> Stats.record_rwset_sizes s ~reads:(n mod 100) ~writes:(n mod 50)
-      | _ -> Stats.record_retry_depth s (n mod 20))
-    ops;
+  List.iter (record_one s) ops;
   Stats.snapshot s
 
 let prop_add_identity =
@@ -192,6 +254,7 @@ let golden_json =
   "schema_version": 2,
   "config": {
     "cm": "backoff",
+    "clock": "gv1",
     "retry_cap": 64,
     "starvation_mode": "fallback",
     "tx_timeout_ns": null,
@@ -283,6 +346,7 @@ let test_json_golden () =
      the shipped defaults for the duration of the check so the golden is
      independent of which suites ran first. *)
   let saved_policy = Cm.current_policy () in
+  let saved_clock = Clock.current_policy () in
   let saved_cap = !Runtime.retry_cap in
   let saved_mode = !Runtime.starvation_mode in
   let saved_timeout = !Runtime.tx_timeout_ns in
@@ -290,6 +354,7 @@ let test_json_golden () =
   let saved_faults = Faults.current () in
   let saved_san = Sanitizer.enabled () in
   Cm.set_policy Cm.Backoff;
+  Clock.set_policy Runtime.GV1;
   Runtime.retry_cap := 64;
   Runtime.starvation_mode := `Fallback;
   Runtime.tx_timeout_ns := None;
@@ -298,6 +363,7 @@ let test_json_golden () =
   Sanitizer.disable ();
   let restore () =
     Cm.set_policy saved_policy;
+    Clock.set_policy saved_clock;
     Runtime.retry_cap := saved_cap;
     Runtime.starvation_mode := saved_mode;
     Runtime.tx_timeout_ns := saved_timeout;
@@ -337,6 +403,9 @@ let suite =
   [ Alcotest.test_case "counting and rate" `Quick test_counting;
     Alcotest.test_case "reason indexing" `Quick test_reason_index_bijective;
     Alcotest.test_case "parallel counting" `Slow test_parallel_counting;
+    Alcotest.test_case "striped ground truth (4 domains)" `Slow
+      test_striped_ground_truth;
+    QCheck_alcotest.to_alcotest prop_striped_equals_monolithic;
     Alcotest.test_case "histogram buckets" `Quick test_hist_buckets;
     Alcotest.test_case "histogram percentiles" `Quick test_hist_percentiles;
     QCheck_alcotest.to_alcotest prop_add_identity;
