@@ -80,7 +80,7 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 (* Part 2: figure sweep                                                *)
 
-let run_sweep ~detailed ~json =
+let run_sweep ~figures ~detailed ~json =
   print_endline "\n## Figure sweep: throughput (ops/ms) and abort rate";
   Printf.printf
     "## threads 1,2,4,8 - %d hardware core(s); domains timeslice, so the\n\
@@ -96,7 +96,7 @@ let run_sweep ~detailed ~json =
         in
         Format.printf "%a%!" Harness.Figures.pp_result r;
         r)
-      Harness.Figures.all
+      figures
   in
   (match json with
   | None -> ()
@@ -145,6 +145,11 @@ let () =
      the cost of the metrics layer itself (it should be within noise when
      off — the flag's whole point). *)
   let detailed = Array.exists (( = ) "--detailed") argv in
+  (* [--read-heavy] swaps the sweep to the read-dominated linked-list
+     series (6a, 6b, 6r) — the workloads most sensitive to per-read
+     write-set lookup and read-set validation costs.  CI gates this sweep
+     against the committed baseline. *)
+  let read_heavy = Array.exists (( = ) "--read-heavy") argv in
   let find_value flag =
     let rec find i =
       if i >= Array.length argv then None
@@ -206,7 +211,10 @@ let () =
   if detailed then Stm_core.Stats.set_detailed true;
   if not skip_micro then run_micro ();
   if not skip_sweep then begin
-    let results = run_sweep ~detailed:(detailed || json <> None) ~json in
+    let figures =
+      if read_heavy then Harness.Figures.read_heavy else Harness.Figures.all
+    in
+    let results = run_sweep ~figures ~detailed:(detailed || json <> None) ~json in
     Option.iter
       (fun baseline_file -> run_compare ~baseline_file ~regress_pct results)
       compare_file

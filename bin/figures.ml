@@ -66,7 +66,7 @@ let run_figures figure_str threads duration runs size_exp seed full csv json
       match Harness.Figures.of_string figure_str with
       | Some f -> [ f ]
       | None ->
-        Printf.eprintf "unknown figure %S (use 6a 6b 7a 7b 8a 8b or all)\n"
+        Printf.eprintf "unknown figure %S (use 6a 6b 6r 7a 7b 8a 8b or all)\n"
           figure_str;
         exit 2
   in
@@ -117,7 +117,8 @@ let run_figures figure_str threads duration runs size_exp seed full csv json
 let cmd =
   let figure =
     Arg.(value & opt string "all" & info [ "figure"; "f" ] ~docv:"FIG"
-           ~doc:"Which figure to regenerate: 6a, 6b, 7a, 7b, 8a, 8b or all.")
+           ~doc:"Which figure to regenerate: 6a, 6b, 6r (read-heavy \
+                 companion), 7a, 7b, 8a, 8b or all.")
   in
   let threads =
     Arg.(value & opt threads_conv [ 1; 2; 4; 8 ] & info [ "threads"; "t" ]

@@ -88,6 +88,12 @@ let in_transaction () = Option.is_some (Domain.DLS.get current)
     Aborts the transaction if the lock stays unavailable past the
     transaction's patience. *)
 let acquire tx lock =
+  (* Reentrant fast path: [holder = root_id] can only have been set by this
+     transaction and is only cleared at its own commit/abort, so the read
+     is a stable local fact — and the invariant "we hold it iff it is in
+     [tx.locks]" makes the old O(|locks|) membership scan unnecessary. *)
+  if Abstract_lock.held_by lock = tx.root_id then ()
+  else begin
   let patience = 1_000 in
   let rec go n =
     Runtime.schedule_point_on (Runtime.Lock (Abstract_lock.id lock));
@@ -105,13 +111,8 @@ let acquire tx lock =
       (not (!Runtime.fault_injection && Faults.inject_lock_fail ()))
       && Abstract_lock.try_acquire lock ~owner:tx.root_id
     then begin
-      if
-        not
-          (List.exists (fun l -> l == (lock : Abstract_lock.t)) tx.locks)
-      then begin
-        tx.locks <- lock :: tx.locks;
-        Txrec.acquire tx.rec_state ~pe:(Abstract_lock.id lock)
-      end
+      tx.locks <- lock :: tx.locks;
+      Txrec.acquire tx.rec_state ~pe:(Abstract_lock.id lock)
     end
     else if n >= patience then Control.abort_tx Control.Lock_contention
     else begin
@@ -120,6 +121,7 @@ let acquire tx lock =
     end
   in
   go 0
+  end
 
 (** Record the inverse of an operation about to be applied. *)
 let log_undo tx inverse = tx.undo <- inverse :: tx.undo

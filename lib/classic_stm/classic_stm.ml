@@ -77,26 +77,39 @@ module Make (P : POLICY) : Stm_intf.S = struct
     Runtime.schedule_point_on (Runtime.Read (Tvar.id tv));
     match Rwsets.Wset.find ctx.wset tv with
     | Some v ->
+      if Stats.detailed_enabled () then Stats.record_read_ws_hit stats;
       Txrec.read ctx.rec_state ~tx:ctx.cur_tx ~pe:(Tvar.id tv)
         ~repr:(Recorder.repr_of_value v);
       v
     | None ->
+      if Stats.detailed_enabled () then Stats.record_read_ws_miss stats;
       let s, v = Tvar.read_consistent tv in
       if Vlock.version_of s > ctx.rv then begin
         if not P.extend_on_read then Control.abort_tx Control.Read_too_new;
         let now = Clock.now () in
-        if Rwsets.Rset.validate ctx.rset ~owner:ctx.tx_id then ctx.rv <- now
-        else Control.abort_tx Control.Read_too_new
+        (* Interval extension moves [rv], so the full set must revalidate:
+           the suffix-only scan is sound only while [rv] is unchanged. *)
+        let ok = Rwsets.Rset.validate ctx.rset ~owner:ctx.tx_id in
+        if Stats.detailed_enabled () then
+          Stats.record_validation_len stats (Rwsets.Rset.last_scan ctx.rset);
+        if ok then ctx.rv <- now else Control.abort_tx Control.Read_too_new
       end;
       let pe = Tvar.id tv in
       Txrec.acquire ctx.rec_state ~pe;
-      Vec.push ctx.rset { Rwsets.r_lock = tv.Tvar.lock; r_seen = s; r_pe = pe };
-      (* Sanitizer strict-opacity mode: revalidate the whole read set at
-         every tracked read so an inconsistent snapshot aborts here, at the
-         read that would observe it, instead of at commit. *)
+      Rwsets.Rset.push ctx.rset
+        { Rwsets.r_lock = tv.Tvar.lock; r_seen = s; r_pe = pe };
+      (* Sanitizer strict-opacity mode: revalidate at every tracked read so
+         an inconsistent snapshot aborts here, at the read that would
+         observe it, instead of at commit.  [rv] is unchanged since the
+         last successful validation, so only the unvalidated suffix needs
+         checking — the watermarked prefix still forms an rv-snapshot. *)
       if !Runtime.sanitizer then
         Sanitizer.on_tx_read ~validate:(fun () ->
-            Rwsets.Rset.validate ctx.rset ~owner:ctx.tx_id);
+            let ok = Rwsets.Rset.validate_new ctx.rset ~owner:ctx.tx_id in
+            if Stats.detailed_enabled () then
+              Stats.record_validation_len stats
+                (Rwsets.Rset.last_scan ctx.rset);
+            ok);
       Txrec.read ctx.rec_state ~tx:ctx.cur_tx ~pe ~repr:(Recorder.repr_of_value v);
       v
 
@@ -143,12 +156,17 @@ module Make (P : POLICY) : Stm_intf.S = struct
       let wv =
         Clock.tick ~floor:(fun () -> Rwsets.Wset.max_version ctx.wset) ()
       in
-      if not (Rwsets.Rset.validate ctx.rset ~owner:ctx.tx_id) then begin
+      (* Commit decides against [wv], not the old [rv] — a full scan. *)
+      let ok = Rwsets.Rset.validate ctx.rset ~owner:ctx.tx_id in
+      if Stats.detailed_enabled () then
+        Stats.record_validation_len stats (Rwsets.Rset.last_scan ctx.rset);
+      if not ok then begin
         Rwsets.Wset.unlock_all_restore ctx.wset;
         Control.abort_tx Control.Validation_failed
       end;
       if !Runtime.sanitizer then
-        Sanitizer.on_commit ~owner:ctx.tx_id ~wv (fun f -> Vec.iter f ctx.rset);
+        Sanitizer.on_commit ~owner:ctx.tx_id ~wv (fun f ->
+            Rwsets.Rset.iter f ctx.rset);
       Rwsets.Wset.install_and_unlock ctx.wset ~wv
     end;
     Txrec.commit_tx ctx.rec_state ~tx:ctx.tx_id;
@@ -166,12 +184,35 @@ module Make (P : POLICY) : Stm_intf.S = struct
     ctx.cur_tx <- saved;
     result
 
+  (* Per-domain scratch sets, reused across every toplevel transaction the
+     domain runs: retries stop re-growing the backing stores from their
+     initial capacity, which dominates read-heavy workloads.  [Vec.clear]
+     wipes freed slots to the dummy, so reuse does not pin dead tvars.
+     Under the deterministic scheduler one domain multiplexes many logical
+     processes that must not share mutable state, so simulated runs
+     allocate fresh sets per transaction instead. *)
+  type scratch = { s_rset : Rwsets.Rset.t; s_wset : Rwsets.Wset.t }
+
+  let scratch : scratch Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { s_rset = Rwsets.Rset.create (); s_wset = Rwsets.Wset.create () })
+
+  let fresh_sets () =
+    if !Runtime.simulated then
+      (Rwsets.Rset.create (), Rwsets.Wset.create ())
+    else begin
+      let s = Domain.DLS.get scratch in
+      Rwsets.Rset.clear s.s_rset;
+      Rwsets.Wset.clear s.s_wset;
+      (s.s_rset, s.s_wset)
+    end
+
   let run_toplevel f =
     Retry_loop.run ~stats (fun ~attempt:_ ->
         let tx_id = Runtime.fresh_tx_id () in
+        let rset, wset = fresh_sets () in
         let ctx =
-          { tx_id; cur_tx = tx_id; rv = Clock.now ();
-            rset = Rwsets.Rset.create (); wset = Rwsets.Wset.create ();
+          { tx_id; cur_tx = tx_id; rv = Clock.now (); rset; wset;
             rec_state = Txrec.create () }
         in
         Domain.DLS.set current (Some ctx);
@@ -183,7 +224,7 @@ module Make (P : POLICY) : Stm_intf.S = struct
           let result = f ctx in
           commit ctx;
           if Stats.detailed_enabled () then
-            Stats.record_rwset_sizes stats ~reads:(Vec.length ctx.rset)
+            Stats.record_rwset_sizes stats ~reads:(Rwsets.Rset.length ctx.rset)
               ~writes:(Rwsets.Wset.size ctx.wset);
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:tx_id;
           Domain.DLS.set current None;

@@ -4,13 +4,20 @@
     thread axis, reporting throughput (ops/ms) and abort rate (%), exactly
     the two quantities plotted in Figures 6, 7 and 8. *)
 
-type figure = F6a | F6b | F7a | F7b | F8a | F8b
+type figure = F6a | F6b | F6r | F7a | F7b | F8a | F8b
 
 let all = [ F6a; F6b; F7a; F7b; F8a; F8b ]
+
+(* The read-dominated companion sweep: linked-list traversals are the
+   workload where per-read write-set lookups and read-set revalidation
+   dominate, so this is the series that exposes set-indexing regressions
+   (or wins).  [F6r] drops the update ratio to 5%. *)
+let read_heavy = [ F6a; F6b; F6r ]
 
 let of_string = function
   | "6a" -> Some F6a
   | "6b" -> Some F6b
+  | "6r" -> Some F6r
   | "7a" -> Some F7a
   | "7b" -> Some F7b
   | "8a" -> Some F8a
@@ -20,6 +27,7 @@ let of_string = function
 let name = function
   | F6a -> "Figure 6(a): LinkedListSet, 5% addAll/removeAll"
   | F6b -> "Figure 6(b): LinkedListSet, 15% addAll/removeAll"
+  | F6r -> "Figure 6(r): LinkedListSet read-heavy, 5% updates, 1% bulk"
   | F7a -> "Figure 7(a): SkipListSet, 5% addAll/removeAll"
   | F7b -> "Figure 7(b): SkipListSet, 15% addAll/removeAll"
   | F8a -> "Figure 8(a): HashSet (load factor 512), 5% addAll/removeAll"
@@ -28,19 +36,23 @@ let name = function
 let short_name = function
   | F6a -> "6a"
   | F6b -> "6b"
+  | F6r -> "6r"
   | F7a -> "7a"
   | F7b -> "7b"
   | F8a -> "8a"
   | F8b -> "8b"
 
 let structure_of = function
-  | F6a | F6b -> Target.Linked_list
+  | F6a | F6b | F6r -> Target.Linked_list
   | F7a | F7b -> Target.Skip_list
   | F8a | F8b -> Target.Hash_set { load_factor = 512 }
 
 let bulk_ratio_of = function
   | F6a | F7a | F8a -> 0.05
+  | F6r -> 0.01
   | F6b | F7b | F8b -> 0.15
+
+let update_ratio_of = function F6r -> 0.05 | _ -> 0.20
 
 type series_result = {
   series_name : string;
@@ -59,7 +71,11 @@ type figure_result = {
 
 let run ?(size_exp = 12) ?(threads = [ 1; 2; 4; 8 ]) ?(duration = 0.2)
     ?(runs = 1) ?(seed = 42) ?(detailed = false) figure =
-  let cfg = Workload.paper ~size_exp ~bulk_ratio:(bulk_ratio_of figure) () in
+  let cfg =
+    Workload.paper ~size_exp
+      ~update_ratio:(update_ratio_of figure)
+      ~bulk_ratio:(bulk_ratio_of figure) ()
+  in
   let series =
     List.map
       (fun (module T : Target.TARGET) ->

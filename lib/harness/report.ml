@@ -20,13 +20,15 @@
                 { "threads": ..., "ops_per_ms": ..., "abort_rate": ...,
                   "total_ops": ..., "commits": ..., "aborts": ...,
                   "starvations": ..., "fallbacks": ..., "timeouts": ...,
+                  "read_ws_hits": ..., "read_ws_misses": ...,
                   "elapsed_ms": ..., "runs": ...,
                   "aborts_by_reason": { "<reason>": n, ... },
                   "commit_latency_ns":  {"count", "p50", "p90", "p99", "max"},
                   "abort_latency_ns":   {...},
                   "retry_depth":        {...},
                   "read_set_size":      {...},
-                  "write_set_size":     {...} } ] } ] } ] }
+                  "write_set_size":     {...},
+                  "validation_len":     {...} } ] } ] } ] }
     v}
 
     Histogram summaries come from the log-bucketed {!Stm_core.Stats.Hist},
@@ -309,6 +311,8 @@ let snapshot_fields (s : Stm_core.Stats.snapshot) =
     ("starvations", Int s.Stm_core.Stats.starvations);
     ("fallbacks", Int s.Stm_core.Stats.fallbacks);
     ("timeouts", Int s.Stm_core.Stats.timeouts);
+    ("read_ws_hits", Int s.Stm_core.Stats.read_ws_hits);
+    ("read_ws_misses", Int s.Stm_core.Stats.read_ws_misses);
     ( "aborts_by_reason",
       Obj
         (List.map
@@ -318,7 +322,8 @@ let snapshot_fields (s : Stm_core.Stats.snapshot) =
     ("abort_latency_ns", hist_summary s.Stm_core.Stats.abort_latency_ns);
     ("retry_depth", hist_summary s.Stm_core.Stats.retry_depth);
     ("read_set_size", hist_summary s.Stm_core.Stats.read_set_size);
-    ("write_set_size", hist_summary s.Stm_core.Stats.write_set_size) ]
+    ("write_set_size", hist_summary s.Stm_core.Stats.write_set_size);
+    ("validation_len", hist_summary s.Stm_core.Stats.validation_len) ]
 
 let point_to_json (p : Sweep.point) =
   Obj

@@ -19,8 +19,8 @@ type config = {
   bulk_ratio : float;   (** fraction of {e all} ops that are bulk (0.05 / 0.15) *)
 }
 
-let paper ?(size_exp = 12) ~bulk_ratio () =
-  { size_exp; update_ratio = 0.20; bulk_ratio }
+let paper ?(size_exp = 12) ?(update_ratio = 0.20) ~bulk_ratio () =
+  { size_exp; update_ratio; bulk_ratio }
 
 let key_range cfg = 1 lsl (cfg.size_exp + 1)
 

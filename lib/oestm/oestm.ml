@@ -128,25 +128,48 @@ module Make (C : CONFIG) : S_EXT = struct
        | None -> true
        | Some p -> validate_protected ~owner p)
 
+  (* Suffix-only variant for the sanitizer's per-read strict-opacity check:
+     [rv] is unchanged between successful validations at reads, so only the
+     entries appended since need checking (see DESIGN.md 5g).  Extension
+     and commit use the full [validate_levels]. *)
+  let rec validate_levels_new ~owner ctx =
+    Rwsets.Rset.validate_new ctx.rset_snap ~owner
+    && Rwsets.Rset.validate_new ctx.rset_prot ~owner
+    && window_valid ~owner ctx
+    && (match ctx.parent with
+       | None -> true
+       | Some p -> validate_levels_new ~owner p)
+
   let rec protected_is_empty ctx =
-    Vec.is_empty ctx.rset_prot
+    Rwsets.Rset.is_empty ctx.rset_prot
     && (match ctx.parent with None -> true | Some p -> protected_is_empty p)
+
+  (* Entries examined by the innermost level's latest validation — a lower
+     bound of the whole-chain scan, exact for unnested transactions. *)
+  let record_scan ctx =
+    if Stats.detailed_enabled () then
+      Stats.record_validation_len stats
+        (Rwsets.Rset.last_scan ctx.rset_snap
+        + Rwsets.Rset.last_scan ctx.rset_prot)
 
   let extend_or_abort ctx =
     let owner = ctx.root.root_tx in
     let now = Clock.now () in
-    if validate_levels ~owner ctx then ctx.root.rv <- now
-    else Control.abort_tx Control.Read_too_new
+    let ok = validate_levels ~owner ctx in
+    record_scan ctx;
+    if ok then ctx.root.rv <- now else Control.abort_tx Control.Read_too_new
 
   let read : type a. ctx -> a tvar -> a =
    fun ctx tv ->
     Runtime.schedule_point_on (Runtime.Read (Tvar.id tv));
     match Rwsets.Wset.find ctx.root.wset tv with
     | Some v ->
+      if Stats.detailed_enabled () then Stats.record_read_ws_hit stats;
       Txrec.read ctx.root.rec_state ~tx:ctx.tx_id ~pe:(Tvar.id tv)
         ~repr:(Recorder.repr_of_value v);
       v
     | None ->
+      if Stats.detailed_enabled () then Stats.record_read_ws_miss stats;
       let s, v = Tvar.read_consistent tv in
       let pe = Tvar.id tv in
       let entry = { Rwsets.r_lock = tv.Tvar.lock; r_seen = s; r_pe = pe } in
@@ -175,13 +198,17 @@ module Make (C : CONFIG) : S_EXT = struct
       else begin
         if Vlock.version_of s > ctx.root.rv then extend_or_abort ctx;
         Txrec.acquire ctx.root.rec_state ~pe;
-        Vec.push ctx.rset_snap entry
+        Rwsets.Rset.push ctx.rset_snap entry
       end;
       (* Sanitizer strict-opacity mode: revalidate everything this
          transaction still tracks (window included) at every read, so
-         inconsistent snapshots abort here rather than at commit. *)
+         inconsistent snapshots abort here rather than at commit.  [rv] is
+         unchanged since the last success, so the suffix scan suffices. *)
       if !Runtime.sanitizer then
-        Sanitizer.on_tx_read ~validate:(fun () -> validate_levels ~owner ctx);
+        Sanitizer.on_tx_read ~validate:(fun () ->
+            let ok = validate_levels_new ~owner ctx in
+            record_scan ctx;
+            ok);
       Txrec.read ctx.root.rec_state ~tx:ctx.tx_id ~pe
         ~repr:(Recorder.repr_of_value v);
       v
@@ -194,8 +221,8 @@ module Make (C : CONFIG) : S_EXT = struct
       ctx.written <- true;
       (* Promote the window: from the first write on its reads belong to
          the minimal protected set (Section V: Pmin = {r_k, ..., r_n}). *)
-      Option.iter (Vec.push ctx.rset_prot) ctx.w1;
-      Option.iter (Vec.push ctx.rset_prot) ctx.w0;
+      Option.iter (Rwsets.Rset.push ctx.rset_prot) ctx.w1;
+      Option.iter (Rwsets.Rset.push ctx.rset_prot) ctx.w0;
       ctx.w0 <- None;
       ctx.w1 <- None
     end;
@@ -214,11 +241,10 @@ module Make (C : CONFIG) : S_EXT = struct
   let release : type a. ctx -> a tvar -> unit =
    fun ctx tv ->
     let pe = Tvar.id tv in
-    let drop_entry (e : Rwsets.rentry) = e.Rwsets.r_pe <> pe in
     let rec walk level =
       let dropped =
-        Vec.filter_in_place drop_entry level.rset_snap
-        + Vec.filter_in_place drop_entry level.rset_prot
+        Rwsets.Rset.filter_pe level.rset_snap ~pe
+        + Rwsets.Rset.filter_pe level.rset_prot ~pe
       in
       let dropped = ref dropped in
       (match level.w0 with
@@ -258,14 +284,14 @@ module Make (C : CONFIG) : S_EXT = struct
   let close_child ~parent child =
     match C.nesting with
     | Outherit ->
-      Vec.append_into ~src:child.rset_snap ~dst:parent.rset_snap;
-      Vec.append_into ~src:child.rset_prot ~dst:parent.rset_prot;
-      Option.iter (Vec.push parent.rset_prot) child.w1;
-      Option.iter (Vec.push parent.rset_prot) child.w0;
+      Rwsets.Rset.append_into ~src:child.rset_snap ~dst:parent.rset_snap;
+      Rwsets.Rset.append_into ~src:child.rset_prot ~dst:parent.rset_prot;
+      Option.iter (Rwsets.Rset.push parent.rset_prot) child.w1;
+      Option.iter (Rwsets.Rset.push parent.rset_prot) child.w0;
       if child.written && not parent.written then begin
         parent.written <- true;
-        Option.iter (Vec.push parent.rset_prot) parent.w1;
-        Option.iter (Vec.push parent.rset_prot) parent.w0;
+        Option.iter (Rwsets.Rset.push parent.rset_prot) parent.w1;
+        Option.iter (Rwsets.Rset.push parent.rset_prot) parent.w0;
         parent.w0 <- None;
         parent.w1 <- None
       end
@@ -273,8 +299,8 @@ module Make (C : CONFIG) : S_EXT = struct
       let release (e : Rwsets.rentry) =
         Txrec.release child.root.rec_state ~pe:e.Rwsets.r_pe
       in
-      Vec.iter release child.rset_snap;
-      Vec.iter release child.rset_prot;
+      Rwsets.Rset.iter release child.rset_snap;
+      Rwsets.Rset.iter release child.rset_prot;
       Option.iter release child.w1;
       Option.iter release child.w0
 
@@ -299,14 +325,16 @@ module Make (C : CONFIG) : S_EXT = struct
       let wv =
         Clock.tick ~floor:(fun () -> Rwsets.Wset.max_version ctx.root.wset) ()
       in
-      if not (validate_levels ~owner ctx) then begin
+      let ok = validate_levels ~owner ctx in
+      record_scan ctx;
+      if not ok then begin
         Rwsets.Wset.unlock_all_restore ctx.root.wset;
         Control.abort_tx Control.Validation_failed
       end;
       if !Runtime.sanitizer then begin
         let rec iter_levels f level =
-          Vec.iter f level.rset_snap;
-          Vec.iter f level.rset_prot;
+          Rwsets.Rset.iter f level.rset_snap;
+          Rwsets.Rset.iter f level.rset_prot;
           Option.iter f level.w0;
           Option.iter f level.w1;
           match level.parent with None -> () | Some p -> iter_levels f p
@@ -339,18 +367,43 @@ module Make (C : CONFIG) : S_EXT = struct
       Domain.DLS.set current (Some parent);
       raise e
 
+  (* Per-domain scratch sets reused across toplevel transactions (nested
+     levels still allocate fresh per-level sets — they are short-lived and
+     merged away at child commit).  Simulated runs allocate fresh sets:
+     one domain multiplexes many logical processes there, which must not
+     share mutable state. *)
+  type scratch = {
+    s_wset : Rwsets.Wset.t;
+    s_snap : Rwsets.Rset.t;
+    s_prot : Rwsets.Rset.t;
+  }
+
+  let scratch : scratch Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { s_wset = Rwsets.Wset.create (); s_snap = Rwsets.Rset.create ();
+          s_prot = Rwsets.Rset.create () })
+
+  let fresh_sets () =
+    if !Runtime.simulated then
+      (Rwsets.Wset.create (), Rwsets.Rset.create (), Rwsets.Rset.create ())
+    else begin
+      let s = Domain.DLS.get scratch in
+      Rwsets.Wset.clear s.s_wset;
+      Rwsets.Rset.clear s.s_snap;
+      Rwsets.Rset.clear s.s_prot;
+      (s.s_wset, s.s_snap, s.s_prot)
+    end
+
   let run_toplevel mode f =
     Retry_loop.run ~stats (fun ~attempt:_ ->
         let root_tx = Runtime.fresh_tx_id () in
+        let wset, rset_snap, rset_prot = fresh_sets () in
         let root =
-          { root_tx; wset = Rwsets.Wset.create (); rv = Clock.now ();
-            rec_state = Txrec.create () }
+          { root_tx; wset; rv = Clock.now (); rec_state = Txrec.create () }
         in
         let ctx =
-          { tx_id = root_tx; mode; root; parent = None;
-            rset_snap = Rwsets.Rset.create ();
-            rset_prot = Rwsets.Rset.create (); w0 = None; w1 = None;
-            written = false }
+          { tx_id = root_tx; mode; root; parent = None; rset_snap; rset_prot;
+            w0 = None; w1 = None; written = false }
         in
         Domain.DLS.set current (Some ctx);
         if !Runtime.sanitizer then Sanitizer.tx_begin ~owner:root_tx;
@@ -370,7 +423,9 @@ module Make (C : CONFIG) : S_EXT = struct
             in
             Stats.record_rwset_sizes stats
               ~reads:
-                (Vec.length ctx.rset_snap + Vec.length ctx.rset_prot + window)
+                (Rwsets.Rset.length ctx.rset_snap
+                + Rwsets.Rset.length ctx.rset_prot
+                + window)
               ~writes:(Rwsets.Wset.size root.wset)
           end;
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:root_tx;

@@ -17,20 +17,94 @@ let rentry_valid ~owner (e : rentry) =
     && Vlock.version_of s = Vlock.version_of e.r_seen
 
 module Rset = struct
-  type t = rentry Vec.t
+  (* [validated_upto] is the incremental-validation watermark: every entry
+     below it passed the last successful validation while the owning
+     transaction's validity interval [rv] was unchanged.  While [rv] stays
+     put, a prefix entry invalidated *after* that validation can only have
+     been overwritten by a commit whose version is > rv (version clocks
+     are monotonic and tick past the value the prefix was validated
+     against), so the values the transaction already returned still form a
+     consistent snapshot at [rv] — re-checking the prefix would only
+     detect doom earlier, never a safety violation.  Hence [validate_new]
+     checks the suffix only; interval extension and commit, where [rv]
+     effectively moves, use the full-scan [validate]. *)
+  type t = {
+    entries : rentry Vec.t;
+    mutable validated_upto : int;
+    mutable last_scan : int;
+  }
 
-  let create () = Vec.create ~dummy:dummy_rentry ()
+  let create () =
+    { entries = Vec.create ~dummy:dummy_rentry ();
+      validated_upto = 0;
+      last_scan = 0 }
+
+  let length t = Vec.length t.entries
+  let is_empty t = Vec.is_empty t.entries
+  let validated_upto t = t.validated_upto
+  let last_scan t = t.last_scan
+
+  let clear t =
+    Vec.clear t.entries;
+    t.validated_upto <- 0;
+    t.last_scan <- 0
+
+  let push t e = Vec.push t.entries e
+  let iter f t = Vec.iter f t.entries
+  let mem_pe t pe = Vec.exists (fun e -> e.r_pe = pe) t.entries
+
+  (* Appending leaves [dst]'s watermark alone: the new entries land in the
+     unvalidated suffix, exactly where incremental validation looks. *)
+  let append_into ~src ~dst = Vec.append_into ~src:src.entries ~dst:dst.entries
+
+  (* Every validation entry point draws from the same injection hook, so
+     chaos runs exercise incremental and bounded validation failures too. *)
+  let injected_fail () =
+    !Runtime.fault_injection && Faults.inject_validation_fail ()
+
+  let validate_from t ~owner ~from =
+    let n = Vec.length t.entries in
+    t.last_scan <- n - from;
+    let rec go i =
+      i >= n || (rentry_valid ~owner (Vec.get t.entries i) && go (i + 1))
+    in
+    let ok = go from in
+    if ok then t.validated_upto <- n;
+    ok
 
   let validate t ~owner =
-    if !Runtime.fault_injection && Faults.inject_validation_fail () then false
-    else Vec.for_all (rentry_valid ~owner) t
+    if injected_fail () then false else validate_from t ~owner ~from:0
+
+  let validate_new t ~owner =
+    if injected_fail () then false
+    else validate_from t ~owner ~from:t.validated_upto
 
   let validate_upto t ~owner ~limit =
-    Vec.for_all
-      (fun e -> Vlock.version_of e.r_seen <= limit && rentry_valid ~owner e)
-      t
+    if injected_fail () then false
+    else begin
+      t.last_scan <- Vec.length t.entries;
+      let ok =
+        Vec.for_all
+          (fun e -> Vlock.version_of e.r_seen <= limit && rentry_valid ~owner e)
+          t.entries
+      in
+      if ok then t.validated_upto <- Vec.length t.entries;
+      ok
+    end
 
-  let mem_pe t pe = Vec.exists (fun e -> e.r_pe = pe) t
+  (* Early release: drop every observation of [pe].  Filtering preserves
+     order, so the surviving prefix of the old validated prefix is still a
+     prefix — the watermark just shrinks by the number of validated
+     entries dropped. *)
+  let filter_pe t ~pe =
+    let wm = t.validated_upto in
+    let dropped_below = ref 0 in
+    for i = 0 to wm - 1 do
+      if (Vec.get t.entries i).r_pe = pe then incr dropped_below
+    done;
+    let dropped = Vec.filter_in_place (fun e -> e.r_pe <> pe) t.entries in
+    t.validated_upto <- wm - !dropped_below;
+    dropped
 end
 
 (* A write entry erases the element type of its tvar.  [find] recovers the
@@ -47,34 +121,122 @@ let wentry_lock (W e) = e.tv.Tvar.lock
 let dummy_wentry = W { tv = Tvar.make 0; pending = 0; locked = false }
 
 module Wset = struct
-  type t = { entries : wentry Vec.t; mutable sorted : bool }
+  (* Lookup is O(1) in the common cases: a per-set summary word answers
+     the read-of-unwritten-location miss with one load and a branch, small
+     sets (below [small_threshold]) fall back to a linear scan of the
+     entry vector, and larger sets carry an open-addressing hash table
+     mapping tvar id -> entry slot (linear probing, power-of-two capacity,
+     load factor <= 1/2).  The table needs no per-entry deletion: entries
+     only leave a write set wholesale through [clear], which just marks
+     the table inactive for rebuild on the next threshold crossing. *)
+  let small_threshold = 8
 
-  let create () = { entries = Vec.create ~dummy:dummy_wentry (); sorted = true }
+  type t = {
+    entries : wentry Vec.t;
+    mutable sorted : bool;
+    mutable summary : int;      (* membership bloom word over tvar ids *)
+    mutable index : int array;  (* open addressing: entry slot, or -1 *)
+    mutable indexed : bool;     (* [index] reflects [entries] *)
+  }
+
+  let create () =
+    { entries = Vec.create ~dummy:dummy_wentry ();
+      sorted = true;
+      summary = 0;
+      index = [||];
+      indexed = false }
 
   let clear t =
     Vec.clear t.entries;
-    t.sorted <- true
+    t.sorted <- true;
+    t.summary <- 0;
+    t.indexed <- false
 
   let is_empty t = Vec.is_empty t.entries
   let size t = Vec.length t.entries
 
-  let find_entry t pe = Vec.find_opt (fun e -> wentry_pe e = pe) t.entries
+  (* Bit [pe land 63], folded into [0, 62]: [1 lsl 63] is 0 on 63-bit
+     ints, and a zero bit would make the summary falsely report absence. *)
+  let summary_bit pe =
+    let b = pe land 63 in
+    1 lsl (b - ((b lsr 5) land 1))
+
+  (* Fibonacci-style multiplicative hash; the low bits of [pe * odd] are a
+     bijection mod the power-of-two capacity, so sequential tvar ids
+     spread without clustering. *)
+  let probe_start pe mask = pe * 0x9E3779B1 land mask
+
+  let index_insert t pe slot =
+    let mask = Array.length t.index - 1 in
+    let i = ref (probe_start pe mask) in
+    while t.index.(!i) >= 0 do
+      i := (!i + 1) land mask
+    done;
+    t.index.(!i) <- slot
+
+  let rebuild_index t cap =
+    if Array.length t.index < cap then t.index <- Array.make cap (-1)
+    else Array.fill t.index 0 (Array.length t.index) (-1);
+    t.indexed <- true;
+    Vec.iteri (fun slot e -> index_insert t (wentry_pe e) slot) t.entries
+
+  (* Entry slot of [pe], or -1.  The probe terminates because the table
+     keeps load factor <= 1/2, so an empty slot is always reachable. *)
+  let find_slot t pe =
+    if t.summary land summary_bit pe = 0 then -1
+    else if t.indexed then begin
+      let mask = Array.length t.index - 1 in
+      let rec probe i =
+        let s = t.index.(i) in
+        if s < 0 then -1
+        else if wentry_pe (Vec.get t.entries s) = pe then s
+        else probe ((i + 1) land mask)
+      in
+      probe (probe_start pe mask)
+    end
+    else begin
+      let n = Vec.length t.entries in
+      let rec scan i =
+        if i >= n then -1
+        else if wentry_pe (Vec.get t.entries i) = pe then i
+        else scan (i + 1)
+      in
+      scan 0
+    end
+
+  let find_entry t pe =
+    match find_slot t pe with
+    | -1 -> None
+    | s -> Some (Vec.get t.entries s)
 
   let find (type a) t (tv : a Tvar.t) : a option =
-    match find_entry t tv.Tvar.id with
-    | None -> None
-    | Some (W e) -> Some (Obj.magic e.pending : a)
+    match find_slot t tv.Tvar.id with
+    | -1 -> None
+    | s ->
+      let (W e) = Vec.get t.entries s in
+      Some (Obj.magic e.pending : a)
 
-  let mem_pe t pe = Option.is_some (find_entry t pe)
+  let mem_pe t pe = find_slot t pe >= 0
 
   let add (type a) t (tv : a Tvar.t) (v : a) =
-    match find_entry t tv.Tvar.id with
-    | Some (W e) ->
+    let pe = tv.Tvar.id in
+    match find_slot t pe with
+    | s when s >= 0 ->
+      let (W e) = Vec.get t.entries s in
       e.pending <- Obj.magic (v : a);
       false
-    | None ->
+    | _ ->
+      let slot = Vec.length t.entries in
       Vec.push t.entries (W { tv; pending = v; locked = false });
+      t.summary <- t.summary lor summary_bit pe;
       t.sorted <- false;
+      let n = slot + 1 in
+      if t.indexed then begin
+        if 2 * n > Array.length t.index then
+          rebuild_index t (2 * Array.length t.index)
+        else index_insert t pe slot
+      end
+      else if n >= small_threshold then rebuild_index t (max 32 (2 * n));
       true
 
   let iter_pes t f = Vec.iter (fun e -> f (wentry_pe e)) t.entries
@@ -82,7 +244,9 @@ module Wset = struct
   let ensure_sorted t =
     if not t.sorted then begin
       Vec.sort (fun a b -> compare (wentry_pe a) (wentry_pe b)) t.entries;
-      t.sorted <- true
+      t.sorted <- true;
+      (* Sorting permutes entry slots, so the id -> slot table is stale. *)
+      if t.indexed then rebuild_index t (Array.length t.index)
     end
 
   let unlock_all_restore t =

@@ -14,20 +14,51 @@ val rentry_valid : owner:int -> rentry -> bool
 (** The entry's stamp is unchanged, or the location is currently
     write-locked by [owner] itself over the observed version. *)
 
-(** A read set is a vector of read entries.  One location may appear several
-    times; validation simply checks every recorded observation. *)
+(** A read set is a vector of read entries plus an incremental-validation
+    watermark.  One location may appear several times; validation simply
+    checks every recorded observation.  Entries below the watermark passed
+    the last successful validation; {!validate_new} checks only the suffix
+    appended since, which is sound while the transaction's validity
+    interval ([rv]) is unchanged — see DESIGN.md 5g. *)
 module Rset : sig
-  type t = rentry Vec.t
+  type t
 
   val create : unit -> t
+  val length : t -> int
+  val is_empty : t -> bool
+  val clear : t -> unit
+
+  val push : t -> rentry -> unit
+  val iter : (rentry -> unit) -> t -> unit
+
+  val append_into : src:t -> dst:t -> unit
+  (** Append [src]'s entries to [dst] (nesting merge).  [dst]'s watermark
+      is unchanged: the new entries land in the unvalidated suffix. *)
 
   val validate : t -> owner:int -> bool
-  (** Every entry's stamp is unchanged, or the location is write-locked by
-      [owner] itself at the version that was observed. *)
+  (** Full scan: every entry's stamp is unchanged, or the location is
+      write-locked by [owner] itself at the version that was observed.
+      Advances the watermark to the full length on success. *)
+
+  val validate_new : t -> owner:int -> bool
+  (** Like {!validate} but only scans entries at or above the watermark.
+      Only sound while [rv] is unchanged since the last successful
+      validation; use {!validate} for interval extension and commit. *)
 
   val validate_upto : t -> owner:int -> limit:int -> bool
   (** Like {!validate} but additionally requires every observed version to
-      be at most [limit] (snapshot-extension validation). *)
+      be at most [limit] (snapshot-extension validation).  Full scan. *)
+
+  val validated_upto : t -> int
+  (** Current watermark (number of entries covered by the last successful
+      validation). *)
+
+  val last_scan : t -> int
+  (** Number of entries examined by the most recent validation call. *)
+
+  val filter_pe : t -> pe:int -> int
+  (** Drop every observation of [pe] (elastic early release), adjusting the
+      watermark; returns how many entries were dropped. *)
 
   val mem_pe : t -> int -> bool
 end
@@ -39,6 +70,10 @@ type wentry
 val wentry_pe : wentry -> int
 val wentry_lock : wentry -> Vlock.t
 
+(** A write set indexed for O(1) lookup by tvar id: a summary (bloom) word
+    answers the common read-of-unwritten-location miss with one load and a
+    branch, small sets use a linear scan, and larger sets carry an
+    open-addressing hash table from tvar id to entry slot. *)
 module Wset : sig
   type t
 

@@ -82,12 +82,15 @@ type shard = {
   starvations : int Atomic.t;
   fallbacks : int Atomic.t;
   timeouts : int Atomic.t;
+  read_ws_hits : int Atomic.t;
+  read_ws_misses : int Atomic.t;
   by_reason : int Atomic.t array;
   commit_latency_ns : Hist.t;
   abort_latency_ns : Hist.t;
   read_set_size : Hist.t;
   write_set_size : Hist.t;
   retry_depth : Hist.t;
+  validation_len : Hist.t;
 }
 
 type t = shard array
@@ -111,12 +114,15 @@ type snapshot = {
   starvations : int;
   fallbacks : int;
   timeouts : int;
+  read_ws_hits : int;
+  read_ws_misses : int;
   by_reason : (Control.reason * int) list;
   commit_latency_ns : Hist.snapshot;
   abort_latency_ns : Hist.snapshot;
   read_set_size : Hist.snapshot;
   write_set_size : Hist.snapshot;
   retry_depth : Hist.snapshot;
+  validation_len : Hist.snapshot;
 }
 
 (* The five scalar counters are the per-attempt hot spots, so each gets
@@ -130,12 +136,15 @@ let make_shard () : shard =
       starvations = Padding.atomic 0;
       fallbacks = Padding.atomic 0;
       timeouts = Padding.atomic 0;
+      read_ws_hits = Padding.atomic 0;
+      read_ws_misses = Padding.atomic 0;
       by_reason = Array.init Control.reason_count (fun _ -> Atomic.make 0);
       commit_latency_ns = Hist.create ();
       abort_latency_ns = Hist.create ();
       read_set_size = Hist.create ();
       write_set_size = Hist.create ();
-      retry_depth = Hist.create () }
+      retry_depth = Hist.create ();
+      validation_len = Hist.create () }
       : shard)
 
 let create () : t = Array.init stripes (fun _ -> make_shard ())
@@ -166,6 +175,14 @@ let record_rwset_sizes (t : t) ~reads ~writes =
 
 let record_retry_depth (t : t) n = Hist.record (shard t).retry_depth n
 
+let record_read_ws_hit (t : t) =
+  ignore (Atomic.fetch_and_add (shard t).read_ws_hits 1)
+
+let record_read_ws_miss (t : t) =
+  ignore (Atomic.fetch_and_add (shard t).read_ws_misses 1)
+
+let record_validation_len (t : t) n = Hist.record (shard t).validation_len n
+
 let snapshot (t : t) =
   let sum (f : shard -> int Atomic.t) =
     Array.fold_left (fun acc sh -> acc + Atomic.get (f sh)) 0 t
@@ -187,12 +204,15 @@ let snapshot (t : t) =
     starvations = sum (fun sh -> sh.starvations);
     fallbacks = sum (fun sh -> sh.fallbacks);
     timeouts = sum (fun sh -> sh.timeouts);
+    read_ws_hits = sum (fun sh -> sh.read_ws_hits);
+    read_ws_misses = sum (fun sh -> sh.read_ws_misses);
     by_reason;
     commit_latency_ns = merge_hist (fun sh -> sh.commit_latency_ns);
     abort_latency_ns = merge_hist (fun sh -> sh.abort_latency_ns);
     read_set_size = merge_hist (fun sh -> sh.read_set_size);
     write_set_size = merge_hist (fun sh -> sh.write_set_size);
-    retry_depth = merge_hist (fun sh -> sh.retry_depth) }
+    retry_depth = merge_hist (fun sh -> sh.retry_depth);
+    validation_len = merge_hist (fun sh -> sh.validation_len) }
 
 let reset (t : t) =
   Array.iter
@@ -202,12 +222,15 @@ let reset (t : t) =
       Atomic.set sh.starvations 0;
       Atomic.set sh.fallbacks 0;
       Atomic.set sh.timeouts 0;
+      Atomic.set sh.read_ws_hits 0;
+      Atomic.set sh.read_ws_misses 0;
       Array.iter (fun c -> Atomic.set c 0) sh.by_reason;
       Hist.reset sh.commit_latency_ns;
       Hist.reset sh.abort_latency_ns;
       Hist.reset sh.read_set_size;
       Hist.reset sh.write_set_size;
-      Hist.reset sh.retry_depth)
+      Hist.reset sh.retry_depth;
+      Hist.reset sh.validation_len)
     t
 
 let empty_snapshot () : snapshot =
@@ -216,12 +239,15 @@ let empty_snapshot () : snapshot =
     starvations = 0;
     fallbacks = 0;
     timeouts = 0;
+    read_ws_hits = 0;
+    read_ws_misses = 0;
     by_reason = [];
     commit_latency_ns = Hist.empty ();
     abort_latency_ns = Hist.empty ();
     read_set_size = Hist.empty ();
     write_set_size = Hist.empty ();
-    retry_depth = Hist.empty () }
+    retry_depth = Hist.empty ();
+    validation_len = Hist.empty () }
 
 (* Merge in canonical [Control.all_reasons] order so that [add] is
    commutative up to structural equality, not just up to reordering. *)
@@ -241,12 +267,15 @@ let add (a : snapshot) (b : snapshot) : snapshot =
     starvations = a.starvations + b.starvations;
     fallbacks = a.fallbacks + b.fallbacks;
     timeouts = a.timeouts + b.timeouts;
+    read_ws_hits = a.read_ws_hits + b.read_ws_hits;
+    read_ws_misses = a.read_ws_misses + b.read_ws_misses;
     by_reason;
     commit_latency_ns = Hist.add a.commit_latency_ns b.commit_latency_ns;
     abort_latency_ns = Hist.add a.abort_latency_ns b.abort_latency_ns;
     read_set_size = Hist.add a.read_set_size b.read_set_size;
     write_set_size = Hist.add a.write_set_size b.write_set_size;
-    retry_depth = Hist.add a.retry_depth b.retry_depth }
+    retry_depth = Hist.add a.retry_depth b.retry_depth;
+    validation_len = Hist.add a.validation_len b.validation_len }
 
 let abort_rate (s : snapshot) =
   let total = s.commits + s.aborts in

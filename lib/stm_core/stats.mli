@@ -64,12 +64,15 @@ type snapshot = {
   starvations : int;  (** retry caps exhausted (escalations or raises) *)
   fallbacks : int;    (** serial-irrevocable fallback entries *)
   timeouts : int;     (** transactions abandoned past their deadline *)
+  read_ws_hits : int;   (** transactional reads served from the write set *)
+  read_ws_misses : int; (** transactional reads that missed the write set *)
   by_reason : (Control.reason * int) list;  (** aborts broken down by reason *)
   commit_latency_ns : Hist.snapshot;  (** duration of committing attempts *)
   abort_latency_ns : Hist.snapshot;   (** duration of aborted attempts *)
   read_set_size : Hist.snapshot;   (** entries at commit, committed tx only *)
   write_set_size : Hist.snapshot;  (** entries at commit, committed tx only *)
   retry_depth : Hist.snapshot;  (** aborted attempts before each commit *)
+  validation_len : Hist.snapshot;  (** entries examined per validation scan *)
 }
 
 val create : unit -> t
@@ -96,6 +99,16 @@ val record_commit_latency : t -> int -> unit
 val record_abort_latency : t -> int -> unit
 val record_rwset_sizes : t -> reads:int -> writes:int -> unit
 val record_retry_depth : t -> int -> unit
+
+val record_read_ws_hit : t -> unit
+(** A transactional read found its location in the write set. *)
+
+val record_read_ws_miss : t -> unit
+(** A transactional read missed the write set (summary word or lookup). *)
+
+val record_validation_len : t -> int -> unit
+(** Number of read-set entries a validation scan examined (suffix length
+    for incremental validation, full length otherwise). *)
 
 val snapshot : t -> snapshot
 val reset : t -> unit

@@ -28,7 +28,12 @@ let push t v =
   t.data.(t.len) <- v;
   t.len <- t.len + 1
 
-let clear t = t.len <- 0
+(* Freed slots are wiped to the dummy so a cleared set stops pinning its
+   elements (tvars, pending values) for the GC; the backing store itself
+   is kept for reuse. *)
+let clear t =
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
 
 let iter f t =
   for i = 0 to t.len - 1 do
@@ -63,10 +68,48 @@ let fold_left f acc t =
 
 let to_list t = List.init t.len (fun i -> t.data.(i))
 
+(* In-place, allocation-free sort of the live prefix: insertion sort for
+   small prefixes, heapsort beyond (both O(1) space).  Stability is not
+   promised — the commit path sorts write entries by unique tvar id. *)
 let sort cmp t =
-  let live = Array.sub t.data 0 t.len in
-  Array.sort cmp live;
-  Array.blit live 0 t.data 0 t.len
+  let a = t.data and n = t.len in
+  if n > 1 then
+    if n <= 32 then
+      for i = 1 to n - 1 do
+        let x = a.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && cmp a.(!j) x > 0 do
+          a.(!j + 1) <- a.(!j);
+          decr j
+        done;
+        a.(!j + 1) <- x
+      done
+    else begin
+      let swap i j =
+        let tmp = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- tmp
+      in
+      let rec sift_down i stop =
+        let l = (2 * i) + 1 in
+        if l < stop then begin
+          let child =
+            if l + 1 < stop && cmp a.(l) a.(l + 1) < 0 then l + 1 else l
+          in
+          if cmp a.(i) a.(child) < 0 then begin
+            swap i child;
+            sift_down child stop
+          end
+        end
+      in
+      for i = (n / 2) - 1 downto 0 do
+        sift_down i n
+      done;
+      for stop = n - 1 downto 1 do
+        swap 0 stop;
+        sift_down 0 stop
+      done
+    end
 
 let append_into ~src ~dst = iter (push dst) src
 
@@ -80,5 +123,6 @@ let filter_in_place p t =
     end
   done;
   let dropped = t.len - !kept in
+  Array.fill t.data !kept dropped t.dummy;
   t.len <- !kept;
   dropped

@@ -16,7 +16,9 @@ val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> unit
 val clear : 'a t -> unit
-(** Resets the length to zero; does not shrink or erase the backing store. *)
+(** Resets the length to zero and wipes the freed slots to the dummy, so
+    cleared elements become collectable; does not shrink the backing
+    store. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
@@ -26,11 +28,11 @@ val find_opt : ('a -> bool) -> 'a t -> 'a option
 val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val to_list : 'a t -> 'a list
 val sort : ('a -> 'a -> int) -> 'a t -> unit
-(** Sorts the live prefix in place. *)
+(** Sorts the live prefix in place without allocating (not stable). *)
 
 val append_into : src:'a t -> dst:'a t -> unit
 (** Pushes every element of [src] onto [dst]. *)
 
 val filter_in_place : ('a -> bool) -> 'a t -> int
 (** Keeps only the elements satisfying the predicate, preserving order;
-    returns how many were dropped. *)
+    returns how many were dropped.  Freed slots are wiped to the dummy. *)

@@ -79,34 +79,58 @@ end) : S = struct
     Rwsets.Rset.validate ctx.view ~owner
     && (match ctx.parent with None -> true | Some p -> validate_views ~owner p)
 
+  (* Suffix-only variant for the sanitizer's per-read check: sound while
+     [rv] is unchanged since the last successful validation (DESIGN.md 5g);
+     extension and commit use the full [validate_views]. *)
+  let rec validate_views_new ~owner ctx =
+    Rwsets.Rset.validate_new ctx.view ~owner
+    && (match ctx.parent with
+       | None -> true
+       | Some p -> validate_views_new ~owner p)
+
+  (* Entries examined by the innermost view's latest validation — a lower
+     bound of the whole-chain scan, exact for unnested transactions. *)
+  let record_scan ctx =
+    if Stats.detailed_enabled () then
+      Stats.record_validation_len stats (Rwsets.Rset.last_scan ctx.view)
+
   (* Critical read: consistent now, validated again at commit. *)
   let read : type a. ctx -> a tvar -> a =
    fun ctx tv ->
     Runtime.schedule_point_on (Runtime.Read (Tvar.id tv));
     match Rwsets.Wset.find ctx.root.wset tv with
     | Some v ->
+      if Stats.detailed_enabled () then Stats.record_read_ws_hit stats;
       Txrec.read ctx.root.rec_state ~tx:ctx.tx_id ~pe:(Tvar.id tv)
         ~repr:(Recorder.repr_of_value v);
       v
     | None ->
+      if Stats.detailed_enabled () then Stats.record_read_ws_miss stats;
       let s, v = Tvar.read_consistent tv in
       let pe = Tvar.id tv in
       (* Keep critical reads within a consistent snapshot, extending the
-         validity interval LSA-style when a newer version appears. *)
+         validity interval LSA-style when a newer version appears.  Moving
+         [rv] requires the full re-scan. *)
       if Vlock.version_of s > ctx.root.rv then begin
         let owner = ctx.root.root_tx in
         let now = Clock.now () in
-        if validate_views ~owner ctx then ctx.root.rv <- now
+        let ok = validate_views ~owner ctx in
+        record_scan ctx;
+        if ok then ctx.root.rv <- now
         else Control.abort_tx Control.Read_too_new
       end;
       Txrec.acquire ctx.root.rec_state ~pe;
-      Vec.push ctx.view { Rwsets.r_lock = tv.Tvar.lock; r_seen = s; r_pe = pe };
+      Rwsets.Rset.push ctx.view
+        { Rwsets.r_lock = tv.Tvar.lock; r_seen = s; r_pe = pe };
       (* Sanitizer strict-opacity mode: revalidate the critical views at
          every critical read.  Weak reads stay unchecked by design — they
-         are the view-transaction relaxation. *)
+         are the view-transaction relaxation.  [rv] is unchanged since the
+         last success, so the suffix scan suffices. *)
       if !Runtime.sanitizer then
         Sanitizer.on_tx_read ~validate:(fun () ->
-            validate_views ~owner:ctx.root.root_tx ctx);
+            let ok = validate_views_new ~owner:ctx.root.root_tx ctx in
+            record_scan ctx;
+            ok);
       Txrec.read ctx.root.rec_state ~tx:ctx.tx_id ~pe
         ~repr:(Recorder.repr_of_value v);
       v
@@ -155,13 +179,15 @@ end) : S = struct
       let wv =
         Clock.tick ~floor:(fun () -> Rwsets.Wset.max_version ctx.root.wset) ()
       in
-      if not (validate_views ~owner ctx) then begin
+      let ok = validate_views ~owner ctx in
+      record_scan ctx;
+      if not ok then begin
         Rwsets.Wset.unlock_all_restore ctx.root.wset;
         Control.abort_tx Control.Validation_failed
       end;
       if !Runtime.sanitizer then begin
         let rec iter_views f c =
-          Vec.iter f c.view;
+          Rwsets.Rset.iter f c.view;
           match c.parent with None -> () | Some p -> iter_views f p
         in
         Sanitizer.on_commit ~owner ~wv (fun f -> iter_views f ctx)
@@ -182,23 +208,40 @@ end) : S = struct
     | result ->
       Txrec.commit_tx child.root.rec_state ~tx:child.tx_id;
       (* Outheritance: the child's critical view joins the parent's. *)
-      Vec.append_into ~src:child.view ~dst:parent.view;
+      Rwsets.Rset.append_into ~src:child.view ~dst:parent.view;
       Domain.DLS.set current (Some parent);
       result
     | exception e ->
       Domain.DLS.set current (Some parent);
       raise e
 
+  (* Per-domain scratch sets reused across toplevel transactions; nested
+     views stay per-level allocations (merged away at child commit).
+     Simulated runs allocate fresh sets: one domain multiplexes many
+     logical processes there, which must not share mutable state. *)
+  type scratch = { s_wset : Rwsets.Wset.t; s_view : Rwsets.Rset.t }
+
+  let scratch : scratch Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { s_wset = Rwsets.Wset.create (); s_view = Rwsets.Rset.create () })
+
+  let fresh_sets () =
+    if !Runtime.simulated then (Rwsets.Wset.create (), Rwsets.Rset.create ())
+    else begin
+      let s = Domain.DLS.get scratch in
+      Rwsets.Wset.clear s.s_wset;
+      Rwsets.Rset.clear s.s_view;
+      (s.s_wset, s.s_view)
+    end
+
   let run_toplevel f =
     Retry_loop.run ~stats (fun ~attempt:_ ->
         let root_tx = Runtime.fresh_tx_id () in
+        let wset, view = fresh_sets () in
         let root =
-          { root_tx; wset = Rwsets.Wset.create (); rv = Clock.now ();
-            rec_state = Txrec.create () }
+          { root_tx; wset; rv = Clock.now (); rec_state = Txrec.create () }
         in
-        let ctx =
-          { tx_id = root_tx; root; parent = None; view = Rwsets.Rset.create () }
-        in
+        let ctx = { tx_id = root_tx; root; parent = None; view } in
         Domain.DLS.set current (Some ctx);
         if !Runtime.sanitizer then Sanitizer.tx_begin ~owner:root_tx;
         Txrec.begin_tx root.rec_state ~tx:root_tx;

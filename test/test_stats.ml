@@ -80,7 +80,7 @@ let test_striped_ground_truth () =
 
 let record_one s n =
   let n = abs n in
-  match n mod 6 with
+  match n mod 8 with
   | 0 -> Stats.record_commit s
   | 1 ->
     Stats.record_abort s
@@ -88,7 +88,12 @@ let record_one s n =
   | 2 -> Stats.record_commit_latency s (n * 17)
   | 3 -> Stats.record_abort_latency s (n * 13)
   | 4 -> Stats.record_rwset_sizes s ~reads:(n mod 100) ~writes:(n mod 50)
-  | _ -> Stats.record_retry_depth s (n mod 20)
+  | 5 -> Stats.record_retry_depth s (n mod 20)
+  | 6 ->
+    (* n mod 8 = 6 forces n even, so branch on a higher bit. *)
+    if (n lsr 3) land 1 = 0 then Stats.record_read_ws_hit s
+    else Stats.record_read_ws_miss s
+  | _ -> Stats.record_validation_len s (n mod 200)
 
 (* The striped implementation is observationally equivalent to a
    monolithic counter set: the same ops recorded from one domain (one
@@ -237,6 +242,11 @@ let golden_result () =
   Stats.record_rwset_sizes s ~reads:4 ~writes:2;
   Stats.record_retry_depth s 0;
   Stats.record_retry_depth s 1;
+  Stats.record_read_ws_hit s;
+  Stats.record_read_ws_hit s;
+  Stats.record_read_ws_miss s;
+  Stats.record_validation_len s 3;
+  Stats.record_validation_len s 5;
   let snap = Stats.snapshot s in
   let p =
     { Harness.Sweep.threads = 2; ops_per_ms = 1234.5; abort_rate = 0.25;
@@ -294,6 +304,8 @@ let golden_json =
               "starvations": 0,
               "fallbacks": 0,
               "timeouts": 0,
+              "read_ws_hits": 2,
+              "read_ws_misses": 1,
               "aborts_by_reason": {
                 "validation-failed": 1
               },
@@ -331,6 +343,13 @@ let golden_json =
                 "p90": 3,
                 "p99": 3,
                 "max": 3
+              },
+              "validation_len": {
+                "count": 2,
+                "p50": 3,
+                "p90": 7,
+                "p99": 7,
+                "max": 7
               }
             }
           ]

@@ -65,11 +65,80 @@ let prop_sort_model =
       Vec.sort compare v;
       Vec.to_list v = List.sort compare xs)
 
+(* The next two tests pin the hot-path leak fix: [clear] and
+   [filter_in_place] must wipe freed slots back to the dummy, otherwise the
+   backing array keeps the last transaction's entries alive for as long as
+   the (long-lived, domain-local) vector exists.  Weak pointers observe
+   collectability directly.  The allocations go through [@inline never]
+   helpers so no stack slot or register keeps the boxed value reachable
+   after the helper returns. *)
+
+let[@inline never] push_boxed v n =
+  let x = ref n in
+  Vec.push v x;
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some x);
+  w
+
+let test_clear_wipes () =
+  let dummy = ref (-1) in
+  let v = Vec.create ~dummy () in
+  let w = push_boxed v 7 in
+  Vec.clear v;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared element collected" true
+    (Weak.get w 0 = None);
+  (* The vector stays usable after the wipe. *)
+  Vec.push v (ref 9);
+  Alcotest.(check int) "push after clear" 9 !(Vec.get v 0)
+
+let[@inline never] push_two_boxed v =
+  let keep = ref 1 in
+  let drop = ref 2 in
+  Vec.push v keep;
+  Vec.push v drop;
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some drop);
+  w
+
+let test_filter_wipes () =
+  let dummy = ref (-1) in
+  let v = Vec.create ~dummy () in
+  let w = push_two_boxed v in
+  let dropped = Vec.filter_in_place (fun x -> !x <> 2) v in
+  Alcotest.(check int) "one dropped" 1 dropped;
+  Alcotest.(check int) "one kept" 1 (Vec.length v);
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "dropped element collected" true
+    (Weak.get w 0 = None);
+  Alcotest.(check int) "kept element intact" 1 !(Vec.get v 0)
+
+let test_sort_no_alloc () =
+  let v = Vec.create ~dummy:0 () in
+  for i = 999 downto 0 do
+    Vec.push v i
+  done;
+  let before = Gc.minor_words () in
+  Vec.sort compare v;
+  let after = Gc.minor_words () in
+  (* In-place heapsort: no [Array.sub] copy of the live prefix.  A small
+     slack absorbs incidental boxing by the runtime. *)
+  Alcotest.(check bool) "sort allocates no copy" true
+    (after -. before < 100.0);
+  Alcotest.(check int) "still sorted, first" 0 (Vec.get v 0);
+  Alcotest.(check int) "still sorted, last" 999 (Vec.get v 999)
+
 let suite =
   [ Alcotest.test_case "push/get" `Quick test_push_get;
     Alcotest.test_case "bounds checks" `Quick test_bounds;
     Alcotest.test_case "clear reuses storage" `Quick test_clear_reuses;
     Alcotest.test_case "sort" `Quick test_sort;
     Alcotest.test_case "append_into" `Quick test_append_into;
+    Alcotest.test_case "clear wipes freed slots" `Quick test_clear_wipes;
+    Alcotest.test_case "filter_in_place wipes freed slots" `Quick
+      test_filter_wipes;
+    Alcotest.test_case "sort is allocation-free" `Quick test_sort_no_alloc;
     QCheck_alcotest.to_alcotest prop_model;
     QCheck_alcotest.to_alcotest prop_sort_model ]
