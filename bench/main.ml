@@ -208,6 +208,20 @@ let () =
     Stm_core.Sanitizer.enable ();
     print_endline "## sanitizer on: numbers are NOT comparable to clean runs"
   end;
+  (* [--recovery] soaks the benchmark with the orphan-lock recovery layer
+     armed (registry publishing, heartbeats, steal checks on contended
+     reads and lock acquisitions); [--lease-ns] tunes the staleness
+     lease.  With no crashing domains it should steal nothing — running
+     it under the sanitizer asserts exactly that. *)
+  if Array.exists (( = ) "--recovery") argv then begin
+    let lease_ns =
+      Option.value
+        (int_value "--lease-ns")
+        ~default:Stm_core.Recovery.default_lease_ns
+    in
+    Stm_core.Recovery.enable ~lease_ns ();
+    Printf.printf "## recovery on: lease %dns\n%!" lease_ns
+  end;
   if detailed then Stm_core.Stats.set_detailed true;
   if not skip_micro then run_micro ();
   if not skip_sweep then begin

@@ -28,9 +28,55 @@ let engines_conv =
         Format.fprintf ppf "%s"
           (String.concat "," (List.map Harness.Chaos.engine_name es)) )
 
-let run_chaos engines seeds runs stress_domains stress_txns json sanitizer =
+(* Domain-kill mode: for each engine, crash killer domains mid-commit and
+   check that survivors keep committing with recovery on AND that the same
+   scenario wedges with recovery off.  Both directions must pass. *)
+let run_kill_mode engines lease_ns json sanitizer =
+  if sanitizer then Stm_core.Sanitizer.enable ();
+  Printf.printf "## Chaos domain-kill: lease=%dns%s\n%!" lease_ns
+    (if sanitizer then ", sanitizer on" else "");
+  let results =
+    List.concat_map
+      (fun e ->
+        let on, off = Harness.Chaos.run_kill_both ~lease_ns e in
+        List.iter
+          (fun r ->
+            Printf.printf
+              "%-10s recovery=%-3s %s  commits=%d conserved=%b wedged=%b \
+               crashes=%d steals=%d expiries=%d poisoned=%d san_violations=%d\n\
+               %!"
+              r.Harness.Chaos.k_engine
+              (if r.Harness.Chaos.k_recovery then "on" else "off")
+              (if Harness.Chaos.kill_ok r then "ok  " else "FAIL")
+              r.Harness.Chaos.k_commits r.Harness.Chaos.k_conserved
+              r.Harness.Chaos.k_wedged r.Harness.Chaos.k_crashes
+              r.Harness.Chaos.k_orphan_steals
+              r.Harness.Chaos.k_lease_expiries
+              r.Harness.Chaos.k_poisoned_commits
+              r.Harness.Chaos.k_san_violations)
+          [ on; off ];
+        [ on; off ])
+      engines
+  in
+  (match json with
+  | None -> ()
+  | Some file ->
+    Harness.Report.write_file file (Harness.Chaos.kill_report_json results);
+    Printf.printf "## wrote %s\n%!" file);
+  if sanitizer then
+    List.iter
+      (fun v ->
+        Format.eprintf "sanitizer: %a@." Stm_core.Sanitizer.pp_violation v)
+      (Stm_core.Sanitizer.violations ());
+  if List.for_all Harness.Chaos.kill_ok results then 0 else 1
+
+let run_chaos engines seeds runs stress_domains stress_txns json sanitizer
+    recovery lease_ns kill =
+  if kill then run_kill_mode engines lease_ns json sanitizer
+  else begin
   let seeds = List.init seeds (fun i -> i + 1) in
   if sanitizer then Stm_core.Sanitizer.enable ();
+  if recovery then Stm_core.Recovery.enable ~lease_ns ();
   Printf.printf
     "## Chaos: %d seed(s)/engine, %d schedule(s)/seed, faults %s%s\n%!"
     (List.length seeds) runs
@@ -76,7 +122,9 @@ let run_chaos engines seeds runs stress_domains stress_txns json sanitizer =
     List.iter
       (fun v -> Format.eprintf "sanitizer: %a@." Stm_core.Sanitizer.pp_violation v)
       (Stm_core.Sanitizer.violations ());
+  if recovery then Stm_core.Recovery.disable ();
   if List.for_all Harness.Chaos.ok results then 0 else 1
+  end
 
 let cmd =
   let engines =
@@ -113,10 +161,28 @@ let cmd =
                  exploration is simulated and exempt).  Any violation \
                  fails the engine's verdict and the exit status.")
   in
+  let recovery =
+    Arg.(value & flag & info [ "recovery" ]
+           ~doc:"Enable crash-tolerant orphan-lock recovery (registry, \
+                 lease-based reclamation) for the run.")
+  in
+  let lease_ns =
+    Arg.(value & opt int 10_000_000 & info [ "lease-ns" ] ~docv:"NS"
+           ~doc:"Heartbeat lease in nanoseconds: a lock owner whose \
+                 registry heartbeat is older than this is considered \
+                 stale and its locks may be reclaimed.")
+  in
+  let kill =
+    Arg.(value & flag & info [ "kill" ]
+           ~doc:"Run the domain-kill scenario instead: crash domains \
+                 mid-commit (orphaning their locks) and require that \
+                 survivors keep committing with recovery on, and that the \
+                 same scenario wedges with recovery off.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Model-check all STM engines under deterministic fault injection")
     Term.(const run_chaos $ engines $ seeds $ runs $ stress_domains
-          $ stress_txns $ json $ sanitizer)
+          $ stress_txns $ json $ sanitizer $ recovery $ lease_ns $ kill)
 
 let () = exit (Cmd.eval' cmd)

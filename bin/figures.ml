@@ -19,7 +19,8 @@ let threads_conv = Arg.conv (parse_threads, fun ppf l ->
     Format.fprintf ppf "%s" (String.concat "," (List.map string_of_int l)))
 
 let run_figures figure_str threads duration runs size_exp seed full csv json
-    cm clock retry_cap backoff_init backoff_max faults sanitizer =
+    cm clock retry_cap backoff_init backoff_max faults sanitizer recovery
+    lease_ns =
   (* Robustness knobs first: they configure process-wide state that the
      sweep reads, and the JSON report records them in its "config". *)
   (match cm with
@@ -59,6 +60,10 @@ let run_figures figure_str threads duration runs size_exp seed full csv json
     Stm_core.Sanitizer.enable ();
     Printf.printf
       "# sanitizer on: numbers are NOT comparable to clean runs\n%!"
+  end;
+  if recovery then begin
+    Stm_core.Recovery.enable ~lease_ns ();
+    Printf.printf "# recovery on: lease %dns\n%!" lease_ns
   end;
   let figures =
     if figure_str = "all" then Harness.Figures.all
@@ -194,10 +199,23 @@ let cmd =
                  \"sanitizer\" object to the JSON report and exits 1 on \
                  any violation.  Numbers are not comparable to clean runs.")
   in
+  let recovery =
+    Arg.(value & flag & info [ "recovery" ]
+           ~doc:"Enable crash-tolerant orphan-lock recovery (in-flight \
+                 registry, lease-based reclamation).  Adds a \"recovery\" \
+                 object to the JSON report.")
+  in
+  let lease_ns =
+    Arg.(value
+         & opt int Stm_core.Recovery.default_lease_ns
+         & info [ "lease-ns" ] ~docv:"NS"
+             ~doc:"Heartbeat lease in nanoseconds before a lock owner is \
+                   considered stale and its locks reclaimable.")
+  in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the figures of Composing Relaxed Transactions (IPDPS'13)")
     Term.(const run_figures $ figure $ threads $ duration $ runs $ size_exp
           $ seed $ full $ csv $ json $ cm $ clock $ retry_cap $ backoff_init
-          $ backoff_max $ faults $ sanitizer)
+          $ backoff_max $ faults $ sanitizer $ recovery $ lease_ns)
 
 let () = exit (Cmd.eval' cmd)

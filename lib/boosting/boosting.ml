@@ -114,10 +114,22 @@ let acquire tx lock =
       tx.locks <- lock :: tx.locks;
       Txrec.acquire tx.rec_state ~pe:(Abstract_lock.id lock)
     end
-    else if n >= patience then Control.abort_tx Control.Lock_contention
     else begin
-      Domain.cpu_relax ();
-      go (n + 1)
+      (* Orphan reclamation: every 64 failed rounds (and once more before
+         giving up) check whether the holder is dead or stale, and steal
+         the lock on its behalf if so. *)
+      let stolen =
+        !Runtime.recovery
+        && (n land 63 = 63 || n >= patience)
+        && Recovery.try_steal_owner ~holder:lock.Abstract_lock.holder
+             ~pe:(Abstract_lock.id lock)
+      in
+      if stolen then go n
+      else if n >= patience then Control.abort_tx Control.Lock_contention
+      else begin
+        Domain.cpu_relax ();
+        go (n + 1)
+      end
     end
   in
   go 0
@@ -155,6 +167,7 @@ let atomic f =
             rec_state = Txrec.create () }
         in
         Domain.DLS.set current (Some tx);
+        if !Runtime.recovery then Registry.publish ~owner:tx.root_id;
         if !Runtime.sanitizer then Sanitizer.tx_begin ~owner:tx.root_id;
         Txrec.begin_tx tx.rec_state ~tx:tx.root_id;
         try
@@ -166,13 +179,28 @@ let atomic f =
           release_all tx;
           Txrec.release_remaining tx.rec_state;
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:tx.root_id;
+          if !Runtime.recovery then Registry.clear ();
           Domain.DLS.set current None;
           result
-        with e ->
+        with
+        | Control.Crashed as e ->
+          (* Simulated domain death: no rollback and no release — the
+             orphaned abstract locks are recovery's to reclaim.  Note the
+             crashed transaction's undo log dies with it: boosting applies
+             operations eagerly, so its effects up to the crash point
+             remain applied (DESIGN.md 5h documents this limitation). *)
+          tx.locks <- [];
+          tx.undo <- [];
+          if !Runtime.recovery then Registry.mark_crashed ();
+          if !Runtime.sanitizer then Sanitizer.tx_crashed ~owner:tx.root_id;
+          Domain.DLS.set current None;
+          raise e
+        | e ->
           rollback tx;
           release_all tx;
           Txrec.abort_open tx.rec_state;
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:tx.root_id;
+          if !Runtime.recovery then Registry.clear ();
           Domain.DLS.set current None;
           raise e)
 

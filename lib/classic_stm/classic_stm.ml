@@ -147,6 +147,7 @@ module Make (P : POLICY) : Stm_intf.S = struct
        any locks this transaction holds are released for the token holder. *)
     if not (Runtime.Serial.commit_allowed ()) then
       Control.abort_tx Control.Killed;
+    if !Runtime.recovery then Recovery.check_poisoned ();
     if not (Rwsets.Wset.is_empty ctx.wset) then begin
       if not (Rwsets.Wset.lock_all ctx.wset ~owner:ctx.tx_id) then
         Control.abort_tx Control.Lock_contention;
@@ -167,6 +168,15 @@ module Make (P : POLICY) : Stm_intf.S = struct
       if !Runtime.sanitizer then
         Sanitizer.on_commit ~owner:ctx.tx_id ~wv (fun f ->
             Rwsets.Rset.iter f ctx.rset);
+      (* Last poison check while the locks are still held: a doomed victim
+         must abort here, before installing over a stolen lock.  (The
+         abort releases cleanly: CAS-based unlocks skip stolen entries.) *)
+      if !Runtime.recovery then begin
+        try Recovery.check_poisoned ()
+        with e ->
+          Rwsets.Wset.unlock_all_restore ctx.wset;
+          raise e
+      end;
       Rwsets.Wset.install_and_unlock ctx.wset ~wv
     end;
     Txrec.commit_tx ctx.rec_state ~tx:ctx.tx_id;
@@ -216,6 +226,7 @@ module Make (P : POLICY) : Stm_intf.S = struct
             rec_state = Txrec.create () }
         in
         Domain.DLS.set current (Some ctx);
+        if !Runtime.recovery then Registry.publish ~owner:tx_id;
         if !Runtime.sanitizer then Sanitizer.tx_begin ~owner:tx_id;
         Txrec.begin_tx ctx.rec_state ~tx:ctx.tx_id;
         (* The commit itself can abort, so it must run inside the cleanup
@@ -227,12 +238,25 @@ module Make (P : POLICY) : Stm_intf.S = struct
             Stats.record_rwset_sizes stats ~reads:(Rwsets.Rset.length ctx.rset)
               ~writes:(Rwsets.Wset.size ctx.wset);
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:tx_id;
+          if !Runtime.recovery then Registry.clear ();
           Domain.DLS.set current None;
           result
-        with e ->
+        with
+        | Control.Crashed as e ->
+          (* Simulated domain death: leave every held lock locked (that is
+             the point — recovery must reclaim them), but detach the
+             scratch sets and mark the registry slot dead so contenders
+             see a legitimate victim. *)
+          Rwsets.Wset.forget_locks ctx.wset;
+          if !Runtime.recovery then Registry.mark_crashed ();
+          if !Runtime.sanitizer then Sanitizer.tx_crashed ~owner:tx_id;
+          Domain.DLS.set current None;
+          raise e
+        | e ->
           Rwsets.Wset.unlock_all_restore ctx.wset;
           Txrec.abort_open ctx.rec_state;
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:tx_id;
+          if !Runtime.recovery then Registry.clear ();
           Domain.DLS.set current None;
           raise e)
 

@@ -71,6 +71,40 @@ type engine_result = {
 let ok r = r.failed_seeds = [] && r.stress_ok && r.san_violations = 0
 
 (* ------------------------------------------------------------------ *)
+(* Domain-kill scenario                                                *)
+
+(** Result of one {!run_kill}: killer domains crash mid-commit holding
+    locks; survivor domains then run a contending workload.  With
+    recovery on the survivors must keep committing (orphaned locks are
+    reclaimed); with recovery off the same scenario must wedge — every
+    survivor that trips over an orphaned lock times out. *)
+type kill_result = {
+  k_engine : string;
+  k_recovery : bool;
+  k_lease_ns : int;
+  k_killers : int;       (** domains crashed mid-commit *)
+  k_survivors : int;     (** domains run after the crashes *)
+  k_txns : int;          (** transactions attempted per survivor *)
+  k_commits : int;       (** survivor transactions that committed *)
+  k_conserved : bool;    (** invariant held on the final state *)
+  k_wedged : bool;       (** some survivor hit {!Control.Timeout} *)
+  k_crashes : int;       (** [Crash_domain] faults that actually fired *)
+  k_orphan_steals : int;
+  k_lease_expiries : int;
+  k_poisoned_commits : int;
+  k_san_violations : int;
+}
+
+(** The pass criterion flips with the recovery switch: recovery on means
+    progress (no wedge, survivors committed), recovery off means the
+    wedge is demonstrated.  Both directions require at least one crash to
+    have fired, the data invariant to hold, and a clean sanitizer. *)
+let kill_ok r =
+  r.k_crashes >= 1 && r.k_conserved && r.k_san_violations = 0
+  && (if r.k_recovery then (not r.k_wedged) && r.k_commits > 0
+      else r.k_wedged)
+
+(* ------------------------------------------------------------------ *)
 (* Scenarios for tvar-based engines                                    *)
 
 module Stm_chaos (S : Stm_intf.S) = struct
@@ -167,6 +201,73 @@ module Stm_chaos (S : Stm_intf.S) = struct
     let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
     List.iter Domain.join ds;
     Array.fold_left (fun a tv -> a + S.peek tv) 0 tvs = n * preload
+
+  (* Domain-kill: each killer reads and rewrites the two cells of its
+     private band, and an armed fault crashes it at the 7th schedule
+     point.  The killer transaction costs read, write, read, write (four
+     points), one commit point, then one lock point per write-set entry —
+     all three tvar engines lock lazily at commit through
+     [Wset.lock_all], so the count is engine-independent.  Point 7 is the
+     second lock point, which fires {e before} the acquisition attempt:
+     the domain dies holding exactly one write lock (its band's lower
+     cell), pre-install, so cell values are untouched and conservation is
+     trivially preserved.  Bands are disjoint, so concurrent killers
+     cannot perturb each other's point arithmetic. *)
+  let kill_stress ~killers ~survivors ~txns ~recovery ~lease_ns =
+    let n = 8 in
+    let killers = max 1 (min killers (n / 2)) in
+    let tvs = Array.init n (fun _ -> S.tvar preload) in
+    let saved_timeout = !Runtime.tx_timeout_ns in
+    if recovery then Recovery.enable ~lease_ns ();
+    (* The timeout is the wedge detector: a survivor blocked on an
+       orphaned lock with no recovery must surface as [Control.Timeout]
+       rather than hang the test. *)
+    Runtime.tx_timeout_ns := Some 300_000_000;
+    Fun.protect
+      ~finally:(fun () ->
+        Runtime.tx_timeout_ns := saved_timeout;
+        if recovery then Recovery.disable ();
+        Faults.disable ())
+      (fun () ->
+        let killer k () =
+          Faults.arm_crash_after ~points:7;
+          try
+            S.atomic (fun ctx ->
+                let a = 2 * k and b = (2 * k) + 1 in
+                S.write ctx tvs.(a) (S.read ctx tvs.(a));
+                S.write ctx tvs.(b) (S.read ctx tvs.(b)))
+          with Control.Crashed -> ()
+        in
+        let kds = List.init killers (fun k -> Domain.spawn (killer k)) in
+        List.iter Domain.join kds;
+        (* Survivors transfer across all cells, so every one of them walks
+           into the orphaned locks within its first few transactions. *)
+        let commits = Atomic.make 0 in
+        let wedged = Atomic.make false in
+        let survivor d () =
+          try
+            for j = 1 to txns do
+              if not (Atomic.get wedged) then begin
+                let a = (d + j) mod n in
+                let b = (a + 1 + (j mod (n - 1))) mod n in
+                if a <> b then begin
+                  S.atomic (fun ctx ->
+                      let va = S.read ctx tvs.(a) in
+                      let vb = S.read ctx tvs.(b) in
+                      S.write ctx tvs.(a) (va - 1);
+                      S.write ctx tvs.(b) (vb + 1));
+                  Atomic.incr commits
+                end
+              end
+            done
+          with Control.Timeout _ -> Atomic.set wedged true
+        in
+        let ds = List.init survivors (fun d -> Domain.spawn (survivor d)) in
+        List.iter Domain.join ds;
+        let conserved =
+          Array.fold_left (fun a tv -> a + S.peek tv) 0 tvs = n * preload
+        in
+        (Atomic.get commits, conserved, Atomic.get wedged))
 
   let run ~seeds ~runs_per_seed ~stress_domains ~stress_txns =
     Stats.reset S.stats;
@@ -314,6 +415,90 @@ module Boost_chaos = struct
     done;
     !ok
 
+  let n_stripes = 8
+
+  (* Stripe placement must be deterministic, and [Boost.lock_for] is
+     [K.hash k mod stripes]: replicate it to aim keys at chosen stripes. *)
+  let stripe_of key = Seqds.Int_key.hash key mod n_stripes
+
+  (* First key at or above [start] that lands on [stripe]. *)
+  let key_on_stripe ~start stripe =
+    let k = ref start in
+    while stripe_of !k <> stripe do incr k done;
+    !k
+
+  (* Domain-kill for boosting.  Each killer inserts a two-key pair whose
+     keys land on its private pair of stripes; boosting fires one schedule
+     point per {e fresh} abstract-lock acquisition (the reentrant fast
+     path has none), and the point fires before the acquisition attempt,
+     so [points = 2] crashes the killer holding exactly its first stripe
+     lock.  The first key is already in the set — boosting applies
+     operations eagerly and the crashed transaction's undo log dies with
+     it (the lost-undo limitation DESIGN.md 5h documents) — so the
+     conservation check covers survivor keys only, from a disjoint
+     range. *)
+  let kill_stress ~killers ~survivors ~txns ~recovery ~lease_ns =
+    let killers = max 1 (min killers (n_stripes / 2)) in
+    let s = BSet.create ~stripes:n_stripes () in
+    let saved_timeout = !Runtime.tx_timeout_ns in
+    if recovery then Recovery.enable ~lease_ns ();
+    Runtime.tx_timeout_ns := Some 300_000_000;
+    Fun.protect
+      ~finally:(fun () ->
+        Runtime.tx_timeout_ns := saved_timeout;
+        if recovery then Recovery.disable ();
+        Faults.disable ())
+      (fun () ->
+        let killer k () =
+          let ka = key_on_stripe ~start:0 (2 * k) in
+          let kb = key_on_stripe ~start:0 ((2 * k) + 1) in
+          Faults.arm_crash_after ~points:2;
+          try ignore (BSet.add_all s [ ka; kb ])
+          with Control.Crashed -> ()
+        in
+        let kds = List.init killers (fun k -> Domain.spawn (killer k)) in
+        List.iter Domain.join kds;
+        (* Each survivor aims successive inserts at successive stripes
+           from a private key range, so all of them hit the orphaned
+           stripes within their first [n_stripes] operations. *)
+        let commits = Atomic.make 0 in
+        let wedged = Atomic.make false in
+        let done_counts = Array.make survivors 0 in
+        let survivor d () =
+          let cursor = ref (10_000 * (d + 1)) in
+          try
+            for i = 0 to txns - 1 do
+              if not (Atomic.get wedged) then begin
+                let key = key_on_stripe ~start:!cursor (i mod n_stripes) in
+                cursor := key + 1;
+                ignore (BSet.add s key);
+                done_counts.(d) <- done_counts.(d) + 1;
+                Atomic.incr commits
+              end
+            done
+          with Control.Timeout _ -> Atomic.set wedged true
+        in
+        let ds = List.init survivors (fun d -> Domain.spawn (survivor d)) in
+        List.iter Domain.join ds;
+        (* Read back every key the survivors reported committed.  Reading
+           is itself transactional, so it only runs when nothing wedged —
+           against orphaned stripes it would just wedge again. *)
+        let conserved =
+          Atomic.get wedged
+          ||
+          let ok = ref true in
+          for d = 0 to survivors - 1 do
+            let cursor = ref (10_000 * (d + 1)) in
+            for i = 0 to done_counts.(d) - 1 do
+              let key = key_on_stripe ~start:!cursor (i mod n_stripes) in
+              cursor := key + 1;
+              if not (BSet.contains s key) then ok := false
+            done
+          done;
+          !ok
+        in
+        (Atomic.get commits, conserved, Atomic.get wedged))
+
   let run ~seeds ~runs_per_seed ~stress_domains ~stress_txns =
     Stats.reset Boosting.stats;
     Faults.reset_counts ();
@@ -382,6 +567,48 @@ let run_all ?seeds ?runs_per_seed ?stress_domains ?stress_txns () =
     (fun e -> run_engine ?seeds ?runs_per_seed ?stress_domains ?stress_txns e)
     all_engines
 
+(* Recovery counters are process-global (steal sites live below the engine
+   instances), so [run_kill] resets and snapshots them around one run. *)
+let run_kill ?(killers = 2) ?(survivors = 3) ?(txns = 64)
+    ?(lease_ns = 10_000_000) ~recovery engine =
+  Faults.reset_counts ();
+  Stats.reset_recovery_counters ();
+  let san0 = Sanitizer.violation_count () in
+  let kill =
+    match engine with
+    | OE -> Oe_chaos.kill_stress
+    | TL2 -> Tl2_chaos.kill_stress
+    | View -> View_chaos.kill_stress
+    | Boost -> Boost_chaos.kill_stress
+  in
+  let commits, conserved, wedged =
+    kill ~killers ~survivors ~txns ~recovery ~lease_ns
+  in
+  let rc = Stats.recovery_counters () in
+  { k_engine = engine_name engine;
+    k_recovery = recovery;
+    k_lease_ns = lease_ns;
+    k_killers = killers;
+    k_survivors = survivors;
+    k_txns = txns;
+    k_commits = commits;
+    k_conserved = conserved;
+    k_wedged = wedged;
+    k_crashes = Faults.count Faults.Crash_domain;
+    k_orphan_steals = rc.Stats.orphan_steals;
+    k_lease_expiries = rc.Stats.lease_expiries;
+    k_poisoned_commits = rc.Stats.poisoned_commits;
+    k_san_violations = Sanitizer.violation_count () - san0 }
+
+(** One engine, both directions: recovery on must make progress, recovery
+    off must wedge. *)
+let run_kill_both ?killers ?survivors ?txns ?lease_ns engine =
+  let on = run_kill ?killers ?survivors ?txns ?lease_ns ~recovery:true engine in
+  let off =
+    run_kill ?killers ?survivors ?txns ?lease_ns ~recovery:false engine
+  in
+  (on, off)
+
 (* ------------------------------------------------------------------ *)
 (* JSON report                                                         *)
 
@@ -407,6 +634,32 @@ let engine_to_json (r : engine_result) =
              (fun (k, n) -> (Faults.kind_name k, Report.Int n))
              r.injected) ) ]
 
+let kill_to_json (r : kill_result) =
+  Report.Obj
+    [ ("engine", Report.Str r.k_engine);
+      ("recovery", Report.Bool r.k_recovery);
+      ("lease_ns", Report.Int r.k_lease_ns);
+      ("killers", Report.Int r.k_killers);
+      ("survivors", Report.Int r.k_survivors);
+      ("txns_per_survivor", Report.Int r.k_txns);
+      ("ok", Report.Bool (kill_ok r));
+      ("survivor_commits", Report.Int r.k_commits);
+      ("conserved", Report.Bool r.k_conserved);
+      ("wedged", Report.Bool r.k_wedged);
+      ("crashes", Report.Int r.k_crashes);
+      ("orphan_steals", Report.Int r.k_orphan_steals);
+      ("lease_expiries", Report.Int r.k_lease_expiries);
+      ("poisoned_commits", Report.Int r.k_poisoned_commits);
+      ("san_violations", Report.Int r.k_san_violations) ]
+
+let kill_report_json (results : kill_result list) =
+  Report.Obj
+    [ ("schema_version", Report.Int Report.schema_version);
+      ("kind", Report.Str "chaos-kill");
+      ("sanitizer", Report.sanitizer_to_json ());
+      ("recovery", Report.recovery_to_json ());
+      ("kills", Report.List (List.map kill_to_json results)) ]
+
 let report_json (results : engine_result list) =
   Report.Obj
     [ ("schema_version", Report.Int Report.schema_version);
@@ -414,4 +667,5 @@ let report_json (results : engine_result list) =
       ( "faults",
         Report.Str (Faults.to_string default_faults) );
       ("sanitizer", Report.sanitizer_to_json ());
+      ("recovery", Report.recovery_to_json ());
       ("engines", Report.List (List.map engine_to_json results)) ]

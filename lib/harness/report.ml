@@ -372,7 +372,9 @@ let config_to_json () =
            ("lock_fail", Float c.Stm_core.Faults.lock_fail);
            ("validation_fail", Float c.Stm_core.Faults.validation_fail);
            ("delay", Float c.Stm_core.Faults.delay);
-           ("max_delay_spins", Int c.Stm_core.Faults.max_delay_spins) ]
+           ("max_delay_spins", Int c.Stm_core.Faults.max_delay_spins);
+           ("crash", Float c.Stm_core.Faults.crash);
+           ("user_raise", Float c.Stm_core.Faults.user_raise) ]
         @ [ ( "injected",
               Obj
                 (List.map
@@ -418,7 +420,8 @@ let sanitizer_to_json () =
               ("unsafe_writes_checked", Int c.San.unsafe_writes_checked);
               ("peeks_checked", Int c.San.peeks_checked);
               ("attempts_audited", Int c.San.attempts_audited);
-              ("zombie_aborts", Int c.San.zombie_aborts) ] );
+              ("zombie_aborts", Int c.San.zombie_aborts);
+              ("steals_checked", Int c.San.steals_checked) ] );
         ("violations", Int (San.violation_count ()));
         ( "violations_by_kind",
           Obj
@@ -426,9 +429,24 @@ let sanitizer_to_json () =
                (fun (k, n) -> (San.kind_name k, Int n))
                (San.counts_by_kind ())) ) ]
 
+(* Recovery verdict: [null] when orphan-lock recovery was off (explicit
+   "not running", not a zero count), otherwise the lease and the steal
+   counters.  Additive — the schema version stays 2. *)
+let recovery_to_json () =
+  if not !Stm_core.Runtime.recovery then Null
+  else
+    let c = Stm_core.Stats.recovery_counters () in
+    Obj
+      [ ("enabled", Bool true);
+        ("lease_ns", Int (Stm_core.Recovery.lease_ns ()));
+        ("orphan_steals", Int c.Stm_core.Stats.orphan_steals);
+        ("lease_expiries", Int c.Stm_core.Stats.lease_expiries);
+        ("poisoned_commits", Int c.Stm_core.Stats.poisoned_commits) ]
+
 let report (results : Figures.figure_result list) =
   Obj
     [ ("schema_version", Int schema_version);
       ("config", config_to_json ());
       ("sanitizer", sanitizer_to_json ());
+      ("recovery", recovery_to_json ());
       ("figures", List (List.map figure_to_json results)) ]

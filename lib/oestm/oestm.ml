@@ -311,6 +311,7 @@ module Make (C : CONFIG) : S_EXT = struct
        would keep our write locks held and deadlock the token holder. *)
     if not (Runtime.Serial.commit_allowed ()) then
       Control.abort_tx Control.Killed;
+    if !Runtime.recovery then Recovery.check_poisoned ();
     let owner = ctx.root.root_tx in
     if Rwsets.Wset.is_empty ctx.root.wset then begin
       (* Read-only.  A lone elastic transaction needs no commit validation
@@ -340,6 +341,14 @@ module Make (C : CONFIG) : S_EXT = struct
           match level.parent with None -> () | Some p -> iter_levels f p
         in
         Sanitizer.on_commit ~owner ~wv (fun f -> iter_levels f ctx)
+      end;
+      (* Last poison check while the locks are still held: a doomed victim
+         must abort here, before installing over a stolen lock. *)
+      if !Runtime.recovery then begin
+        try Recovery.check_poisoned ()
+        with e ->
+          Rwsets.Wset.unlock_all_restore ctx.root.wset;
+          raise e
       end;
       Rwsets.Wset.install_and_unlock ctx.root.wset ~wv
     end;
@@ -406,6 +415,7 @@ module Make (C : CONFIG) : S_EXT = struct
             w0 = None; w1 = None; written = false }
         in
         Domain.DLS.set current (Some ctx);
+        if !Runtime.recovery then Registry.publish ~owner:root_tx;
         if !Runtime.sanitizer then Sanitizer.tx_begin ~owner:root_tx;
         Txrec.begin_tx root.rec_state ~tx:root_tx;
         (* The commit itself can abort, so it must run inside the cleanup
@@ -429,12 +439,23 @@ module Make (C : CONFIG) : S_EXT = struct
               ~writes:(Rwsets.Wset.size root.wset)
           end;
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:root_tx;
+          if !Runtime.recovery then Registry.clear ();
           Domain.DLS.set current None;
           result
-        with e ->
+        with
+        | Control.Crashed as e ->
+          (* Simulated domain death: leave held locks for recovery to
+             reclaim; mark the registry slot dead. *)
+          Rwsets.Wset.forget_locks root.wset;
+          if !Runtime.recovery then Registry.mark_crashed ();
+          if !Runtime.sanitizer then Sanitizer.tx_crashed ~owner:root_tx;
+          Domain.DLS.set current None;
+          raise e
+        | e ->
           Rwsets.Wset.unlock_all_restore root.wset;
           Txrec.abort_open root.rec_state;
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:root_tx;
+          if !Runtime.recovery then Registry.clear ();
           Domain.DLS.set current None;
           raise e)
 

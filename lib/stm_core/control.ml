@@ -8,10 +8,17 @@ type reason =
   | Killed
   | Explicit
   | Injected
+  | Poisoned
 
 exception Abort_tx of reason
 exception Starvation of string
 exception Timeout of string
+
+(* Simulated abrupt domain death ({!Faults} crash injection): engines must
+   NOT release locks or clear their registry slot on this exception — the
+   whole point is to leave orphaned state behind for {!Recovery} to
+   reclaim.  Real code never raises it. *)
+exception Crashed
 
 (* The sanitizer's abort-generation bump ({!Txrec.bump_abort_generation}),
    installed by [Sanitizer.enable].  A hook rather than a direct call keeps
@@ -33,6 +40,7 @@ let reason_to_string = function
   | Killed -> "killed"
   | Explicit -> "explicit"
   | Injected -> "injected"
+  | Poisoned -> "poisoned"
 
 let reason_index = function
   | Read_locked -> 0
@@ -44,9 +52,11 @@ let reason_index = function
   | Killed -> 6
   | Explicit -> 7
   | Injected -> 8
+  | Poisoned -> 9
 
-let reason_count = 9
+let reason_count = 10
 
 let all_reasons =
   [ Read_locked; Read_inconsistent; Read_too_new; Window_invalid;
-    Validation_failed; Lock_contention; Killed; Explicit; Injected ]
+    Validation_failed; Lock_contention; Killed; Explicit; Injected;
+    Poisoned ]

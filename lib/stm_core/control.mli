@@ -16,6 +16,10 @@ type reason =
                              serial-irrevocable gate *)
   | Explicit             (** user requested the abort *)
   | Injected             (** spurious abort injected by {!Faults} *)
+  | Poisoned             (** the transaction's registry slot was doomed by
+                             {!Recovery}: one of its locks was presumed
+                             orphaned and stolen, so committing would not
+                             be atomic *)
 
 exception Abort_tx of reason
 (** Raised to abort the current transaction attempt.  Caught only by the
@@ -27,6 +31,13 @@ exception Starvation of string
     used by the deterministic scheduler to prune livelocking interleavings.
     Under the default [`Fallback] mode the retry loop escalates to the
     serial-irrevocable fallback instead, so this exception cannot escape. *)
+
+exception Crashed
+(** Simulated abrupt domain death, raised only by {!Faults} crash
+    injection.  Unlike every other exception, engines deliberately do
+    {e not} release locks, run undo logs or clear their registry slot when
+    it unwinds — it models a domain that stopped executing mid-flight, and
+    the orphaned state it leaves behind is what {!Recovery} reclaims. *)
 
 exception Timeout of string
 (** Raised when a transaction's deadline ({!Runtime.tx_timeout_ns}) expires

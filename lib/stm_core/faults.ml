@@ -22,16 +22,19 @@ type config = {
   validation_fail : float;  (* per read-set validation *)
   delay : float;            (* per scheduling point *)
   max_delay_spins : int;
+  crash : float;            (* simulated domain crash, per scheduling point *)
+  user_raise : float;       (* foreign exception, per scheduling point *)
 }
 
 let default =
   { seed = 1; spurious_abort = 0.0; lock_fail = 0.0; validation_fail = 0.0;
-    delay = 0.0; max_delay_spins = 64 }
+    delay = 0.0; max_delay_spins = 64; crash = 0.0; user_raise = 0.0 }
 
 let to_string c =
-  Printf.sprintf "seed=%d,abort=%g,lock=%g,validate=%g,delay=%g,spins=%d"
+  Printf.sprintf
+    "seed=%d,abort=%g,lock=%g,validate=%g,delay=%g,spins=%d,crash=%g,raise=%g"
     c.seed c.spurious_abort c.lock_fail c.validation_fail c.delay
-    c.max_delay_spins
+    c.max_delay_spins c.crash c.user_raise
 
 let parse s =
   let rate k v =
@@ -62,27 +65,41 @@ let parse s =
           | "validate" -> { c with validation_fail = rate k v }
           | "delay" -> { c with delay = rate k v }
           | "spins" -> { c with max_delay_spins = int_field k v }
+          | "crash" -> { c with crash = rate k v }
+          | "raise" -> { c with user_raise = rate k v }
           | _ -> invalid_arg ("Faults.parse: unknown key " ^ k)))
     default
     (String.split_on_char ',' s)
 
-type kind = Spurious_abort | Lock_fail | Validation_fail | Delay
+type kind =
+  | Spurious_abort
+  | Lock_fail
+  | Validation_fail
+  | Delay
+  | Crash_domain
+  | User_raise
 
-let all_kinds = [ Spurious_abort; Lock_fail; Validation_fail; Delay ]
+let all_kinds =
+  [ Spurious_abort; Lock_fail; Validation_fail; Delay; Crash_domain;
+    User_raise ]
 
 let kind_name = function
   | Spurious_abort -> "spurious_abort"
   | Lock_fail -> "lock_fail"
   | Validation_fail -> "validation_fail"
   | Delay -> "delay"
+  | Crash_domain -> "crash_domain"
+  | User_raise -> "user_raise"
 
 let kind_index = function
   | Spurious_abort -> 0
   | Lock_fail -> 1
   | Validation_fail -> 2
   | Delay -> 3
+  | Crash_domain -> 4
+  | User_raise -> 5
 
-let injected = Array.init 4 (fun _ -> Atomic.make 0)
+let injected = Array.init 6 (fun _ -> Atomic.make 0)
 
 let count k = Atomic.get injected.(kind_index k)
 let counts () = List.map (fun k -> (k, count k)) all_kinds
@@ -142,7 +159,39 @@ let spin_delay c =
       Domain.cpu_relax ()
     done
 
+exception Injected_failure
+
+(* Deterministic one-shot faults, armed per domain: fire after exactly
+   [points] further eligible scheduling points.  The chaos kill scenario
+   uses them to land a crash at a chosen depth inside a transaction —
+   i.e. inside a lock-holding window — independent of the PRNG stream. *)
+type armed = {
+  mutable countdown : int;
+  mutable armed_kind : [ `Crash | `Raise ] option;
+}
+
+let armed_state : armed Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { countdown = 0; armed_kind = None })
+
+let fire_armed a k =
+  a.armed_kind <- None;
+  match k with
+  | `Crash ->
+    record Crash_domain;
+    raise Control.Crashed
+  | `Raise ->
+    record User_raise;
+    raise Injected_failure
+
 let point () =
+  begin
+    let a = Domain.DLS.get armed_state in
+    match a.armed_kind with
+    | Some k when eligible () ->
+      a.countdown <- a.countdown - 1;
+      if a.countdown <= 0 then fire_armed a k
+    | _ -> ()
+  end;
   match !config with
   | None -> ()
   | Some c ->
@@ -154,6 +203,14 @@ let point () =
       if hit c.spurious_abort then begin
         record Spurious_abort;
         Control.abort_tx Control.Injected
+      end;
+      if hit c.user_raise then begin
+        record User_raise;
+        raise Injected_failure
+      end;
+      if hit c.crash then begin
+        record Crash_domain;
+        raise Control.Crashed
       end
     end
 
@@ -176,6 +233,24 @@ let inject_validation_fail () =
          record Validation_fail;
          true
        end
+
+(* Arming installs the hook even with no PRNG config: a one-shot fault
+   must fire regardless of whether random fault rates are also active. *)
+let arm kind ~points =
+  if points <= 0 then invalid_arg "Faults.arm: points must be positive";
+  let a = Domain.DLS.get armed_state in
+  a.countdown <- points;
+  a.armed_kind <- Some kind;
+  Runtime.fault_hook := point;
+  Runtime.fault_injection := true
+
+let arm_crash_after ~points = arm `Crash ~points
+let arm_raise_after ~points = arm `Raise ~points
+
+let disarm () =
+  let a = Domain.DLS.get armed_state in
+  a.armed_kind <- None;
+  a.countdown <- 0
 
 let enable c =
   config := Some c;

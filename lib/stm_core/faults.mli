@@ -20,13 +20,19 @@ type config = {
   validation_fail : float;  (** failure probability per read-set validation *)
   delay : float;            (** delay probability per scheduling point *)
   max_delay_spins : int;    (** upper bound on one injected delay *)
+  crash : float;  (** simulated domain-crash probability per scheduling
+                      point: raises {!Control.Crashed}, which engines
+                      propagate {e without} releasing locks *)
+  user_raise : float;  (** foreign-exception probability per scheduling
+                           point: raises {!Injected_failure}, which engines
+                           must clean up after like any user exception *)
 }
 
 val default : config
 (** Seed 1, all rates zero, 64 max delay spins. *)
 
 val parse : string -> config
-(** Parse a CLI spec like ["seed=7,abort=0.01,lock=0.05,validate=0.05,delay=0.01,spins=64"].
+(** Parse a CLI spec like ["seed=7,abort=0.01,lock=0.05,validate=0.05,delay=0.01,spins=64,crash=0.001,raise=0.01"].
     Unmentioned fields keep their {!default}.  Raises [Invalid_argument] on
     unknown keys or rates outside [0, 1]. *)
 
@@ -46,7 +52,13 @@ val reseed : int -> unit
 
 (** {1 Injected-fault accounting} *)
 
-type kind = Spurious_abort | Lock_fail | Validation_fail | Delay
+type kind =
+  | Spurious_abort
+  | Lock_fail
+  | Validation_fail
+  | Delay
+  | Crash_domain
+  | User_raise
 
 val all_kinds : kind list
 val kind_name : kind -> string
@@ -74,3 +86,23 @@ val enter_attempt : unit -> unit
     contention-manager waits and non-transactional code unperturbed. *)
 
 val leave_attempt : unit -> unit
+
+(** {1 Crash and foreign-exception faults} *)
+
+exception Injected_failure
+(** The "user code raised" fault: deliberately {e not} a [Control]
+    exception, so it exercises the engines' catch-all cleanup paths. *)
+
+val arm_crash_after : points:int -> unit
+(** Deterministic one-shot, per domain: after [points] further eligible
+    scheduling points on the calling domain, raise {!Control.Crashed}
+    (once).  Installs the fault hook even when no {!config} is active.
+    Raises [Invalid_argument] if [points <= 0]. *)
+
+val arm_raise_after : points:int -> unit
+(** Same, raising {!Injected_failure} instead. *)
+
+val disarm : unit -> unit
+(** Cancel the calling domain's armed one-shot, if any.  (A global
+    {!disable} also stops armed faults on every domain, by clearing
+    {!Runtime.fault_injection}.) *)

@@ -28,11 +28,23 @@ let fault_hook : (unit -> unit) ref = ref (fun () -> ())
 
 let yield_hook : (access -> unit) ref = ref (fun _ -> ())
 
+(* Crash-tolerant lock recovery.  [Recovery] installs its hooks here; the
+   flag keeps the hot path at one load-and-branch while recovery is off.
+   The heartbeat hook refreshes the current domain's registry slot at
+   every scheduling point; the serial-reclaim hook runs inside the
+   [Serial] spin loops so a token orphaned by a dead holder is eventually
+   CASed free. *)
+let recovery = ref false
+let heartbeat_hook : (unit -> unit) ref = ref (fun () -> ())
+let serial_reclaim_hook : (unit -> unit) ref = ref (fun () -> ())
+
 let schedule_point () =
+  if !recovery then !heartbeat_hook ();
   if !fault_injection then !fault_hook ();
   !yield_hook Pure
 
 let schedule_point_on a =
+  if !recovery then !heartbeat_hook ();
   if !fault_injection then !fault_hook ();
   !yield_hook a
 
@@ -65,6 +77,10 @@ type san_event =
       (** a non-transactional store; [locked_owner] is the holder of the
           element's lock at the store, if it was held *)
   | San_peek of { pe : int }  (** a non-transactional read *)
+  | San_steal of { pe : int; victim : int; version : int option }
+      (** recovery reclaimed a lock held by [victim]; [Some v] = a
+          versioned lock stolen to poisoned version [v], [None] = an
+          abstract lock or the serial token *)
 
 let sanitizer = ref false
 let sanitizer_hook : (san_event -> unit) ref = ref (fun _ -> ())
@@ -109,6 +125,7 @@ module Serial = struct
     if Atomic.compare_and_set holder (-1) (current_proc ()) then true
     else if giveup () then false
     else begin
+      if !recovery then !serial_reclaim_hook ();
       relax ();
       enter ~giveup ()
     end
@@ -116,11 +133,21 @@ module Serial = struct
   let exit () =
     ignore (Atomic.compare_and_set holder (current_proc ()) (-1))
 
+  let holder_id () = Atomic.get holder
+
+  (* Recovery-only: release a token held by [expected] on that process's
+     behalf.  The CAS makes the reclaim safe against the presumed-dead
+     holder resurrecting and calling [exit] itself (both CAS from the same
+     observed value; exactly one wins). *)
+  let force_clear ~expected =
+    expected >= 0 && Atomic.compare_and_set holder expected (-1)
+
   let rec await_clear ?(giveup = fun () -> false) () =
     let h = Atomic.get holder in
     if h < 0 || h = current_proc () then true
     else if giveup () then false
     else begin
+      if !recovery then !serial_reclaim_hook ();
       relax ();
       await_clear ~giveup ()
     end

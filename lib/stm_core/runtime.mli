@@ -45,6 +45,23 @@ val fault_hook : (unit -> unit) ref
 (** The injector {!Faults} installs; invoked at every scheduling point
     while {!fault_injection} is set.  May raise {!Control.Abort_tx}. *)
 
+val recovery : bool ref
+(** Owned by {!Recovery}: set while crash-tolerant lock recovery is
+    enabled.  Scheduling points consult it before calling
+    {!heartbeat_hook}, and the lock paths consult it before attempting an
+    orphan steal, so the hot path pays one load and branch while recovery
+    is off. *)
+
+val heartbeat_hook : (unit -> unit) ref
+(** Refreshes the current domain's {!Registry} heartbeat; installed by
+    {!Recovery.enable} and invoked at every scheduling point while
+    {!recovery} is set. *)
+
+val serial_reclaim_hook : (unit -> unit) ref
+(** Invoked inside the {!Serial} spin loops while {!recovery} is set, so a
+    token orphaned by a dead or stale holder is eventually reclaimed;
+    installed by {!Recovery.enable}. *)
+
 val schedule_point : unit -> unit
 (** Invoke the yield hook with a {!Pure} annotation. *)
 
@@ -79,6 +96,10 @@ type san_event =
           [None]: restored to the pre-lock stamp, or an abstract lock *)
   | San_unsafe_write of { pe : int; locked_owner : int option }
   | San_peek of { pe : int }
+  | San_steal of { pe : int; victim : int; version : int option }
+      (** recovery reclaimed a lock held by [victim]; [Some v]: a
+          versioned lock stolen to poisoned version [v]; [None]: an
+          abstract lock or the serial token *)
 
 val sanitizer : bool ref
 (** Owned by {!Sanitizer}: set while the sanitizer is enabled.
@@ -152,6 +173,16 @@ module Serial : sig
 
   val exit : unit -> unit
   (** Release the token if held by the current process. *)
+
+  val holder_id : unit -> int
+  (** Current token holder's process id, or -1 when free. *)
+
+  val force_clear : expected:int -> bool
+  (** Release a token held by process [expected] on its behalf (orphan
+      reclamation); [false] if the holder changed in the meantime.  Only
+      {!Recovery} may call this, and only for a holder whose registry slot
+      is dead or stale.  CAS-based, so it cannot race with a resurrected
+      holder's own [exit]. *)
 
   val await_clear : ?giveup:(unit -> bool) -> unit -> bool
   (** Park while another process holds the token; [true] once clear (or if

@@ -113,12 +113,22 @@ end
    standard heterogeneous-write-set technique (cf. kcas); the cast is
    confined to this module. *)
 type wentry =
-  | W : { tv : 'a Tvar.t; mutable pending : 'a; mutable locked : bool } -> wentry
+  | W : {
+      tv : 'a Tvar.t;
+      mutable pending : 'a;
+      mutable locked : bool;
+      (* Pre-lock stamp observed by our own try_lock, recorded per entry:
+         under recovery the lock's shared [saved] field can already belong
+         to a thief's next locker by the time we unwind, so CAS-based
+         releases must work from this private copy. *)
+      mutable w_saved : int;
+    }
+      -> wentry
 
 let wentry_pe (W e) = e.tv.Tvar.id
 let wentry_lock (W e) = e.tv.Tvar.lock
 
-let dummy_wentry = W { tv = Tvar.make 0; pending = 0; locked = false }
+let dummy_wentry = W { tv = Tvar.make 0; pending = 0; locked = false; w_saved = 0 }
 
 module Wset = struct
   (* Lookup is O(1) in the common cases: a per-set summary word answers
@@ -227,7 +237,7 @@ module Wset = struct
       false
     | _ ->
       let slot = Vec.length t.entries in
-      Vec.push t.entries (W { tv; pending = v; locked = false });
+      Vec.push t.entries (W { tv; pending = v; locked = false; w_saved = 0 });
       t.summary <- t.summary lor summary_bit pe;
       t.sorted <- false;
       let n = slot + 1 in
@@ -253,10 +263,31 @@ module Wset = struct
     Vec.iter
       (fun (W e) ->
         if e.locked then begin
-          Vlock.unlock_restore e.tv.Tvar.lock;
+          if !Runtime.recovery then
+            (* CAS-based: fails silently if a thief already took the lock;
+               the stamp is then no longer ours to restore. *)
+            ignore (Vlock.unlock_restore_from e.tv.Tvar.lock ~saved:e.w_saved)
+          else Vlock.unlock_restore e.tv.Tvar.lock;
           e.locked <- false
         end)
       t.entries
+
+  (* One acquisition attempt for [e]'s lock, with a single orphan-steal
+     retry: if the lock is held by a dead/stale owner, reclaim it and try
+     once more. *)
+  let try_lock_wentry (W e) ~owner =
+    let lock = e.tv.Tvar.lock in
+    let attempt () =
+      let s = Vlock.try_lock_save lock ~owner in
+      s >= 0
+      && begin
+           e.w_saved <- s;
+           e.locked <- true;
+           true
+         end
+    in
+    attempt ()
+    || (!Runtime.recovery && Recovery.try_steal_vlock lock && attempt ())
 
   let lock_all t ~owner =
     ensure_sorted t;
@@ -267,8 +298,7 @@ module Wset = struct
       let (W e) = Vec.get t.entries !i in
       if not e.locked then begin
         Runtime.schedule_point_on (Runtime.Lock (wentry_pe (W e)));
-        if Vlock.try_lock e.tv.Tvar.lock ~owner then e.locked <- true
-        else ok := false
+        if not (try_lock_wentry (W e) ~owner) then ok := false
       end;
       incr i
     done;
@@ -279,15 +309,17 @@ module Wset = struct
     match find_entry t (Tvar.id tv) with
     | None -> invalid_arg "Wset.lock_one: no entry for tvar"
     | Some (W e) ->
-      if e.locked then true
-      else begin
-        Runtime.schedule_point_on (Runtime.Lock (wentry_pe (W e)));
-        if Vlock.try_lock e.tv.Tvar.lock ~owner then begin
-          e.locked <- true;
-          true
-        end
-        else false
-      end
+      e.locked
+      || begin
+           Runtime.schedule_point_on (Runtime.Lock (wentry_pe (W e)));
+           try_lock_wentry (W e) ~owner
+         end
+
+  (* Crash path: the domain "dies" holding its locks, so the entries must
+     forget them without releasing — the orphaned locks are exactly what
+     recovery reclaims.  Clearing [locked] keeps scratch-set reuse from
+     releasing a lock the crashed attempt still notionally holds. *)
+  let forget_locks t = Vec.iter (fun (W e) -> e.locked <- false) t.entries
 
   (* Highest committed version among the held locks.  A locked stamp keeps
      the pre-lock version, so this is exactly the largest version any of
@@ -307,8 +339,22 @@ module Wset = struct
     Vec.iter
       (fun (W e) ->
         assert e.locked;
-        Tvar.unsafe_write e.tv e.pending;
-        Vlock.unlock_to e.tv.Tvar.lock ~version:wv;
+        if !Runtime.recovery then begin
+          (* A thief may take this lock mid-install (lease expiry under
+             extreme delay).  Only write under a stamp that is still our
+             own locked image, and release by CAS, so a stolen location is
+             neither clobbered nor unlocked out from under its new owner. *)
+          if Vlock.stamp e.tv.Tvar.lock = e.w_saved lor 1 then begin
+            Tvar.unsafe_write e.tv e.pending;
+            ignore
+              (Vlock.unlock_to_from e.tv.Tvar.lock ~saved:e.w_saved
+                 ~version:wv)
+          end
+        end
+        else begin
+          Tvar.unsafe_write e.tv e.pending;
+          Vlock.unlock_to e.tv.Tvar.lock ~version:wv
+        end;
         e.locked <- false)
       t.entries
 

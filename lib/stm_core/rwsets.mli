@@ -110,11 +110,19 @@ module Wset : sig
 
   val install_and_unlock : t -> wv:int -> unit
   (** Write every pending value into its tvar and release the lock,
-      publishing version [wv].  All entries must be locked by the caller. *)
+      publishing version [wv].  All entries must be locked by the caller.
+      Under recovery, entries whose lock was stolen mid-install are
+      skipped (neither written nor unlocked). *)
 
   val unlock_all_restore : t -> unit
   (** Release every lock this set acquired, restoring pre-lock stamps (abort
-      path). *)
+      path).  Under recovery the releases are CAS-based and skip entries
+      whose lock was stolen in the meantime. *)
+
+  val forget_locks : t -> unit
+  (** Mark every entry unlocked {e without} releasing anything: the
+      simulated-crash path, where the orphaned locks are deliberately left
+      held for recovery to reclaim while the scratch set is reused. *)
 
   val validate_no_foreign_lock : t -> owner:int -> bool
   (** No entry is locked by a transaction other than [owner]. *)

@@ -15,10 +15,11 @@ type kind =
   | Peek_escape
   | Commit_stale
   | Abort_swallowed
+  | Bad_steal
 
 let all_kinds =
   [ Lock_imbalance; Version_regress; Unsafe_write_race; Peek_escape;
-    Commit_stale; Abort_swallowed ]
+    Commit_stale; Abort_swallowed; Bad_steal ]
 
 let kind_index = function
   | Lock_imbalance -> 0
@@ -27,6 +28,7 @@ let kind_index = function
   | Peek_escape -> 3
   | Commit_stale -> 4
   | Abort_swallowed -> 5
+  | Bad_steal -> 6
 
 let kind_name = function
   | Lock_imbalance -> "lock-imbalance"
@@ -35,6 +37,7 @@ let kind_name = function
   | Peek_escape -> "peek-escape"
   | Commit_stale -> "commit-stale"
   | Abort_swallowed -> "abort-swallowed"
+  | Bad_steal -> "bad-steal"
 
 type violation = {
   v_kind : kind;
@@ -56,6 +59,7 @@ type checks = {
   peeks_checked : int;
   attempts_audited : int;
   zombie_aborts : int;
+  steals_checked : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -85,6 +89,10 @@ let locks : (int, lock_state) Hashtbl.t = Hashtbl.create 64
    transaction attempt. *)
 let live : (int, int) Hashtbl.t = Hashtbl.create 16
 
+(* owners that crashed (simulated) while holding locks: legitimate steal
+   victims even when their registry slot has not yet gone dead/stale. *)
+let crashed : (int, unit) Hashtbl.t = Hashtbl.create 16
+
 let c_lock_transitions = Atomic.make 0
 let c_reads_validated = Atomic.make 0
 let c_commits_checked = Atomic.make 0
@@ -92,6 +100,7 @@ let c_unsafe_writes = Atomic.make 0
 let c_peeks = Atomic.make 0
 let c_attempts_audited = Atomic.make 0
 let c_zombie_aborts = Atomic.make 0
+let c_steals = Atomic.make 0
 
 let enabled () = !Runtime.sanitizer
 
@@ -198,6 +207,41 @@ let on_peek ~pe =
              "non-transactional read while a transaction is live on another \
               process"))
 
+(* A steal is legitimate only against a victim that cannot still be
+   running: it crashed (simulated), its registry slot is dead or stale, or
+   recovery already doomed it (doom happens strictly before the steal, so
+   a stale victim that heartbeats again between the thief's status check
+   and this one is still visibly doomed — the check cannot false-positive
+   on a correct thief).  The serial token's victim is a domain id, not a
+   transaction id; it is recognised by its [clock_pe] event. *)
+let on_steal ~pe ~victim ~version =
+  Atomic.incr c_steals;
+  let lease_ns = Recovery.lease_ns () in
+  let victim_gone =
+    if pe = Runtime.clock_pe then
+      match Registry.domain_status ~lease_ns ~domain:victim with
+      | Registry.Dead | Registry.Stale -> true
+      | Registry.Live -> false
+    else
+      Hashtbl.mem crashed victim
+      || (match Registry.owner_status ~lease_ns ~owner:victim with
+         | Registry.Dead | Registry.Stale -> true
+         | Registry.Live -> false)
+      || Registry.owner_doomed ~owner:victim
+  in
+  with_m (fun () ->
+      if not victim_gone then
+        record_locked ~kind:Bad_steal ~pe ~owner:victim
+          (Printf.sprintf
+             "lock stolen from owner %d whose registry slot is live" victim);
+      match Hashtbl.find_opt locks pe with
+      | None -> ()
+      | Some e ->
+        e.holder <- -1;
+        (match version with
+        | Some v when v > e.last_version -> e.last_version <- v
+        | _ -> ()))
+
 let handle_event e =
   if active () then
     match (e : Runtime.san_event) with
@@ -206,6 +250,7 @@ let handle_event e =
     | Runtime.San_unsafe_write { pe; locked_owner } ->
       on_unsafe_write ~pe ~locked_owner
     | Runtime.San_peek { pe } -> on_peek ~pe
+    | Runtime.San_steal { pe; victim; version } -> on_steal ~pe ~victim ~version
 
 (* ------------------------------------------------------------------ *)
 (* Engine-facing checks                                                *)
@@ -216,6 +261,12 @@ let tx_begin ~owner =
 
 let tx_end ~owner =
   if active () then with_m (fun () -> Hashtbl.remove live owner)
+
+let tx_crashed ~owner =
+  if active () then
+    with_m (fun () ->
+        Hashtbl.remove live owner;
+        Hashtbl.replace crashed owner ())
 
 let on_tx_read ~validate =
   if active () then begin
@@ -296,12 +347,14 @@ let reset () =
   with_m (fun () ->
       Hashtbl.reset locks;
       Hashtbl.reset live;
+      Hashtbl.reset crashed;
       kept := [];
       Atomic.set total_violations 0;
       List.iter (fun k -> Atomic.set kind_counts.(kind_index k) 0) all_kinds;
       List.iter (fun c -> Atomic.set c 0)
         [ c_lock_transitions; c_reads_validated; c_commits_checked;
-          c_unsafe_writes; c_peeks; c_attempts_audited; c_zombie_aborts ])
+          c_unsafe_writes; c_peeks; c_attempts_audited; c_zombie_aborts;
+          c_steals ])
 
 let enable () =
   Runtime.sanitizer_hook := handle_event;
@@ -323,4 +376,5 @@ let checks () =
     unsafe_writes_checked = Atomic.get c_unsafe_writes;
     peeks_checked = Atomic.get c_peeks;
     attempts_audited = Atomic.get c_attempts_audited;
-    zombie_aborts = Atomic.get c_zombie_aborts }
+    zombie_aborts = Atomic.get c_zombie_aborts;
+    steals_checked = Atomic.get c_steals }

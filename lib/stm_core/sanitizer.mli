@@ -34,7 +34,11 @@
     - [Abort_swallowed]: a {!Control.abort_tx} was raised during an
       attempt but never reached the retry loop (a catch-all handler in the
       transaction body ate it), detected with a per-domain abort
-      generation counter ({!Txrec.abort_generation}).
+      generation counter ({!Txrec.abort_generation});
+    - [Bad_steal]: recovery stole a lock from an owner that is still
+      live — neither crashed, nor dead/stale in the {!Registry}, nor
+      doomed.  A correct {!Recovery} dooms the victim before the steal, so
+      a stale victim resuming its heartbeat cannot false-positive here.
 
     Events that are {e not} violations: in sanitizer mode every
     transactional read revalidates the full read set (strict opacity), and
@@ -64,6 +68,7 @@ type kind =
   | Peek_escape
   | Commit_stale
   | Abort_swallowed
+  | Bad_steal
 
 type violation = {
   v_kind : kind;
@@ -83,6 +88,7 @@ type checks = {
   peeks_checked : int;
   attempts_audited : int;
   zombie_aborts : int;  (** strict-opacity aborts issued at reads *)
+  steals_checked : int;  (** recovery steal events audited *)
 }
 
 val enable : unit -> unit
@@ -121,6 +127,11 @@ val tx_begin : owner:int -> unit
     logical process.  Must be paired with {!tx_end} on every exit path. *)
 
 val tx_end : owner:int -> unit
+
+val tx_crashed : owner:int -> unit
+(** The attempt owning [owner] crashed (simulated, {!Control.Crashed})
+    while possibly holding locks: it stops counting as live, and steals
+    against it are accepted even before its registry slot goes stale. *)
 
 val on_tx_read : validate:(unit -> bool) -> unit
 (** Called after a transactional read was tracked; [validate] runs the

@@ -277,6 +277,36 @@ let add (a : snapshot) (b : snapshot) : snapshot =
     retry_depth = Hist.add a.retry_depth b.retry_depth;
     validation_len = Hist.add a.validation_len b.validation_len }
 
+(* Recovery counters are process-global rather than per-STM-instance: the
+   steal sites live in the shared lock paths (Rwsets, Tvar, Runtime.Serial)
+   below any engine instance, so there is no [t] to thread to them.  Three
+   padded cells; contention is negligible (steals are rare by design). *)
+type recovery_counters = {
+  orphan_steals : int;
+  lease_expiries : int;
+  poisoned_commits : int;
+}
+
+let orphan_steals_c = Padding.atomic 0
+let lease_expiries_c = Padding.atomic 0
+let poisoned_commits_c = Padding.atomic 0
+
+let record_orphan_steal () = ignore (Atomic.fetch_and_add orphan_steals_c 1)
+let record_lease_expiry () = ignore (Atomic.fetch_and_add lease_expiries_c 1)
+
+let record_poisoned_commit () =
+  ignore (Atomic.fetch_and_add poisoned_commits_c 1)
+
+let recovery_counters () =
+  { orphan_steals = Atomic.get orphan_steals_c;
+    lease_expiries = Atomic.get lease_expiries_c;
+    poisoned_commits = Atomic.get poisoned_commits_c }
+
+let reset_recovery_counters () =
+  Atomic.set orphan_steals_c 0;
+  Atomic.set lease_expiries_c 0;
+  Atomic.set poisoned_commits_c 0
+
 let abort_rate (s : snapshot) =
   let total = s.commits + s.aborts in
   if total = 0 then 0.0 else float_of_int s.aborts /. float_of_int total

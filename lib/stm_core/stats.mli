@@ -120,6 +120,24 @@ val add : snapshot -> snapshot -> snapshot
 (** Pointwise sum — commutative and associative with {!empty_snapshot} as
     identity, so per-run snapshots can be folded into per-point totals. *)
 
+(** {1 Recovery counters}
+
+    Process-global (not per-STM): orphan steals happen in the shared lock
+    paths below any engine instance.  Reported additively in run JSON when
+    recovery is enabled. *)
+
+type recovery_counters = {
+  orphan_steals : int;     (** locks reclaimed from dead/stale owners *)
+  lease_expiries : int;    (** steals whose victim was stale, not dead *)
+  poisoned_commits : int;  (** doomed victims aborted at their poison check *)
+}
+
+val record_orphan_steal : unit -> unit
+val record_lease_expiry : unit -> unit
+val record_poisoned_commit : unit -> unit
+val recovery_counters : unit -> recovery_counters
+val reset_recovery_counters : unit -> unit
+
 val abort_rate : snapshot -> float
 (** aborts / (aborts + commits), or 0 when no transaction ran. *)
 

@@ -18,12 +18,23 @@ let id tv = tv.id
    The stamp loads trace themselves (the lock's pe is the tvar id), so a
    traced step covers the content load too — same protection element. *)
 let read_consistent tv =
-  let s1 = Vlock.stamp tv.lock in
-  if Vlock.locked s1 then Control.abort_tx Control.Read_locked;
-  let v = tv.content in
-  let s2 = Vlock.stamp tv.lock in
-  if s1 <> s2 then Control.abort_tx Control.Read_inconsistent;
-  (s1, v)
+  (* One bounded retry after an orphan steal: a reader stuck behind a lock
+     whose owner died would otherwise abort forever. *)
+  let rec go retried =
+    let s1 = Vlock.stamp tv.lock in
+    if Vlock.locked s1 then begin
+      if (not retried) && !Runtime.recovery && Recovery.try_steal_vlock tv.lock
+      then go true
+      else Control.abort_tx Control.Read_locked
+    end
+    else begin
+      let v = tv.content in
+      let s2 = Vlock.stamp tv.lock in
+      if s1 <> s2 then Control.abort_tx Control.Read_inconsistent;
+      (s1, v)
+    end
+  in
+  go false
 
 let peek tv =
   if !Runtime.sanitizer then

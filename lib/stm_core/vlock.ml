@@ -48,7 +48,33 @@ let try_lock t ~owner =
   end
   else false
 
+(* Like [try_lock], but returns the observed pre-lock stamp (-1 on
+   failure).  Callers that may have their lock stolen (recovery enabled)
+   record the returned stamp per write-set entry and release with the
+   CAS-based [unlock_restore_from]/[unlock_to_from]: the shared [saved]
+   field can be overwritten by a thief's next locker before the victim
+   unwinds, so it cannot be trusted for a CAS-based release. *)
+let try_lock_save t ~owner =
+  if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  if !Runtime.fault_injection && Faults.inject_lock_fail () then -1
+  else
+  let s = Atomic.get t.stamp_cell in
+  if locked s then -1
+  else if Atomic.compare_and_set t.stamp_cell s (s lor 1) then begin
+    t.owner_id <- owner;
+    t.saved <- s;
+    if !Runtime.sanitizer then
+      Runtime.sanitizer_event
+        (Runtime.San_acquire { pe = t.pe; owner; version = s lsr 1 });
+    s
+  end
+  else -1
+
 let owner t = t.owner_id
+
+let owner_opt t =
+  let s = Atomic.get t.stamp_cell in
+  if locked s then Some t.owner_id else None
 
 let locked_by t ~owner =
   if !Runtime.tracing then Runtime.trace_access (Runtime.Read t.pe);
@@ -69,6 +95,46 @@ let unlock_to t ~version =
       (Runtime.San_release
          { pe = t.pe; owner = t.owner_id; version = Some version });
   Atomic.set t.stamp_cell (version lsl 1)
+
+(* CAS-based releases, used when recovery may steal the lock out from
+   under its owner: the release succeeds only if the stamp is still the
+   locked image of [saved], i.e. the lock was not stolen.  ABA is
+   impossible because stolen locks transition to a strictly larger
+   (poisoned) version and versions never decrease. *)
+let unlock_restore_from t ~saved =
+  if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  let released = Atomic.compare_and_set t.stamp_cell (saved lor 1) saved in
+  if released && !Runtime.sanitizer then
+    Runtime.sanitizer_event
+      (Runtime.San_release { pe = t.pe; owner = t.owner_id; version = None });
+  released
+
+let unlock_to_from t ~saved ~version =
+  if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  let released =
+    Atomic.compare_and_set t.stamp_cell (saved lor 1) (version lsl 1)
+  in
+  if released && !Runtime.sanitizer then
+    Runtime.sanitizer_event
+      (Runtime.San_release
+         { pe = t.pe; owner = t.owner_id; version = Some version });
+  released
+
+(* Recovery-only: transition a lock observed locked (stamp = [observed])
+   to unlocked poisoned [version].  The CAS from the exact observed stamp
+   is what makes the preceding owner/status reads safe: if the victim
+   meanwhile released (or another thief won), the stamp moved and the
+   steal fails harmlessly. *)
+let steal t ~observed ~victim ~version =
+  if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  let stolen =
+    locked observed
+    && Atomic.compare_and_set t.stamp_cell observed (version lsl 1)
+  in
+  if stolen && !Runtime.sanitizer then
+    Runtime.sanitizer_event
+      (Runtime.San_steal { pe = t.pe; victim; version = Some version });
+  stolen
 
 let pp ppf t =
   let s = Atomic.get t.stamp_cell in

@@ -34,10 +34,29 @@ val try_lock : t -> owner:int -> bool
 (** Attempt to acquire the lock for transaction [owner].  Returns [false]
     without blocking if the lock is already held. *)
 
+val try_lock_save : t -> owner:int -> int
+(** Like {!try_lock}, but returns the pre-lock stamp observed by the
+    winning CAS, or -1 on failure.  Callers running with recovery enabled
+    must record this stamp per write-set entry and release through
+    {!unlock_restore_from}/{!unlock_to_from}: after a steal, the lock's
+    shared saved-stamp field may already belong to a thief's next locker. *)
+
 val owner : t -> int
-(** Owner recorded by the last successful [try_lock].  Only meaningful while
-    the caller has observed a locked stamp and knows the lock cannot have
-    been recycled, i.e. when checking for self-ownership. *)
+(** Owner recorded by the last successful [try_lock].  {b Contract}: the
+    plain field is only meaningful against a locked stamp the caller has
+    already observed, and even then it may be stale — another transaction
+    can release and re-acquire the lock between the stamp load and this
+    read.  Safe uses are (a) self-ownership checks, where staleness is
+    impossible because only the caller writes its own id, and (b) recovery,
+    which re-validates by CASing on the exact observed stamp so a stale
+    owner read can only cause a failed (harmless) steal.  For anything
+    else use {!owner_opt}. *)
+
+val owner_opt : t -> int option
+(** [Some o] when the lock is currently locked with recorded owner [o],
+    [None] on an unlocked stamp.  Rules out the "stale owner field read
+    without first observing a locked stamp" misuse of {!owner}; the same
+    release/re-acquire staleness caveat still applies to [o] itself. *)
 
 val locked_by : t -> owner:int -> bool
 (** [locked_by l ~owner] is true iff [l] is currently locked and the recorded
@@ -50,5 +69,22 @@ val unlock_restore : t -> unit
 val unlock_to : t -> version:int -> unit
 (** Release the lock, publishing [version] as the new version (used at
     commit after installing a new value). *)
+
+val unlock_restore_from : t -> saved:int -> bool
+(** CAS-based {!unlock_restore} from a stamp recorded by
+    {!try_lock_save}: releases only if the lock still carries the locked
+    image of [saved] — i.e. it was not stolen.  [false] means a thief took
+    the lock; the caller must treat it as no longer its own. *)
+
+val unlock_to_from : t -> saved:int -> version:int -> bool
+(** CAS-based {!unlock_to} from a stamp recorded by {!try_lock_save};
+    same steal semantics as {!unlock_restore_from}. *)
+
+val steal : t -> observed:int -> victim:int -> version:int -> bool
+(** Recovery-only: transition the lock from the locked stamp [observed]
+    to unlocked poisoned [version] (which must be strictly greater than
+    [version_of observed]).  Fails (harmlessly) if the stamp moved since
+    it was observed.  Only {!Recovery.try_steal_vlock} may call this, and
+    only after dooming the victim's registry slot. *)
 
 val pp : Format.formatter -> t -> unit

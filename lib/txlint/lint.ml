@@ -1,12 +1,13 @@
 (* Static lint for STM discipline.  See lint.mli for the check catalogue
    and DESIGN.md ("Txsan") for the policy behind the whitelists. *)
 
-type kind = Catch_all | Obj_magic | Stm_escape
+type kind = Catch_all | Obj_magic | Stm_escape | Crash_swallowed
 
 let kind_name = function
   | Catch_all -> "catch-all"
   | Obj_magic -> "obj-magic"
   | Stm_escape -> "stm-escape"
+  | Crash_swallowed -> "crash-swallowed"
 
 type finding = {
   file : string;
@@ -63,6 +64,10 @@ let default_escape_whitelist =
 
 let default_obj_magic_whitelist = [ "lib/stm_core/rwsets.ml" ]
 
+(* The chaos harness is the crash orchestrator: its killer processes
+   absorb the simulated death they themselves arranged. *)
+let default_crash_whitelist = [ "lib/harness/chaos.ml" ]
+
 let escape_names = [ "peek"; "unsafe_write"; "unsafe_preload" ]
 
 (* Suffix match on '/'-normalised paths, aligned to a component boundary,
@@ -88,6 +93,25 @@ let rec pattern_is_catch_all (p : Parsetree.pattern) =
   | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p) ->
     pattern_is_catch_all p
   | Ppat_or (a, b) -> pattern_is_catch_all a || pattern_is_catch_all b
+  | _ -> false
+
+(* A pattern that names one of the raise-at-point fault exceptions
+   ([Control.Crashed], [Faults.Injected_failure]), directly or inside
+   alias/or/constraint/open.  Handlers matching these without re-raising
+   defeat the crash simulation: engines rely on the exception unwinding
+   all the way out so orphaned locks stay orphaned. *)
+let crash_exn_names = [ "Crashed"; "Injected_failure" ]
+
+let rec pattern_mentions_crash (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, _) -> (
+    match txt with
+    | Lident n | Ldot (_, n) -> List.mem n crash_exn_names
+    | _ -> false)
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p)
+  | Ppat_exception p ->
+    pattern_mentions_crash p
+  | Ppat_or (a, b) -> pattern_mentions_crash a || pattern_mentions_crash b
   | _ -> false
 
 (* Does the handler body syntactically re-raise?  We accept the stdlib
@@ -127,7 +151,8 @@ let body_reraises (body : Parsetree.expression) =
 
 (* --- the linter ------------------------------------------------------ *)
 
-let lint_structure ~file ~escape_whitelist ~obj_magic_whitelist str =
+let lint_structure ~file ~escape_whitelist ~obj_magic_whitelist
+    ~crash_whitelist str =
   let findings = ref [] in
   let add (loc : Location.t) kind msg =
     let p = loc.loc_start in
@@ -146,7 +171,21 @@ let lint_structure ~file ~escape_whitelist ~obj_magic_whitelist str =
     then
       add c.pc_lhs.ppat_loc Catch_all
         "catch-all exception handler without re-raise swallows \
-         Control.Abort_tx; match specific exceptions or re-raise"
+         Control.Abort_tx; match specific exceptions or re-raise";
+    let crash_pat =
+      match c.pc_lhs.ppat_desc with
+      | Ppat_exception p when what = `Match -> pattern_mentions_crash p
+      | _ -> what = `Try && pattern_mentions_crash c.pc_lhs
+    in
+    if
+      crash_pat && c.pc_guard = None
+      && not (body_reraises c.pc_rhs)
+      && not (whitelisted file crash_whitelist)
+    then
+      add c.pc_lhs.ppat_loc Crash_swallowed
+        "handler swallows a raise-at-point fault (Control.Crashed / \
+         Faults.Injected_failure); crash simulation needs these to \
+         propagate - re-raise after cleanup"
   in
   let iter =
     {
@@ -179,14 +218,15 @@ let lint_structure ~file ~escape_whitelist ~obj_magic_whitelist str =
   List.rev !findings
 
 let lint_string ?(escape_whitelist = default_escape_whitelist)
-    ?(obj_magic_whitelist = default_obj_magic_whitelist) ~filename source =
+    ?(obj_magic_whitelist = default_obj_magic_whitelist)
+    ?(crash_whitelist = default_crash_whitelist) ~filename source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf filename;
   match Parse.implementation lexbuf with
   | str ->
     Ok
       (lint_structure ~file:filename ~escape_whitelist ~obj_magic_whitelist
-         str)
+         ~crash_whitelist str)
   | exception e -> (
     (* Only exceptions the compiler knows how to report are parse errors;
        anything else (Out_of_memory, a bug in this linter) propagates. *)
@@ -198,16 +238,18 @@ let lint_string ?(escape_whitelist = default_escape_whitelist)
     | Some `Already_displayed -> Error (filename ^ ": parse error")
     | None -> raise e)
 
-let lint_file ?escape_whitelist ?obj_magic_whitelist file =
+let lint_file ?escape_whitelist ?obj_magic_whitelist ?crash_whitelist file =
   match In_channel.with_open_bin file In_channel.input_all with
   | source -> lint_string ?escape_whitelist ?obj_magic_whitelist
-                ~filename:file source
+                ?crash_whitelist ~filename:file source
   | exception Sys_error msg -> Error msg
 
-let lint_files ?escape_whitelist ?obj_magic_whitelist files =
+let lint_files ?escape_whitelist ?obj_magic_whitelist ?crash_whitelist files =
   List.fold_left
     (fun (findings, errors) file ->
-      match lint_file ?escape_whitelist ?obj_magic_whitelist file with
+      match
+        lint_file ?escape_whitelist ?obj_magic_whitelist ?crash_whitelist file
+      with
       | Ok fs -> (findings @ fs, errors)
       | Error msg -> (findings, errors @ [ msg ]))
     ([], []) files

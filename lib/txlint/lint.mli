@@ -1,6 +1,6 @@
 (** Static lint for STM discipline ("txlint").
 
-    Three checks, applied to OCaml implementation files ([*.ml]) with the
+    Four checks, applied to OCaml implementation files ([*.ml]) with the
     compiler-libs parser:
 
     - {b catch-all}: an exception handler that matches every exception
@@ -19,6 +19,13 @@
       [unsafe_write] or [unsafe_preload] outside the whitelisted modules
       ({!default_escape_whitelist}) — engine internals, single-domain
       preload helpers and post-run checkers.
+    - {b crash-swallowed}: a handler matching one of the raise-at-point
+      fault exceptions ([Control.Crashed], [Faults.Injected_failure])
+      without re-raising.  Engines must let a simulated crash unwind the
+      whole stack — forgetting (not releasing) its locks on the way — so
+      the orphan-lock recovery layer sees the same state a real domain
+      death would leave.  Only the chaos harness, which orchestrates the
+      crashes, may absorb them ({!default_crash_whitelist}).
 
     Whitelists match by path {e suffix} (so absolute and relative
     invocations agree) and are part of the repo's policy: extending one is
@@ -28,10 +35,13 @@ type kind =
   | Catch_all  (** exception handler that swallows every exception *)
   | Obj_magic  (** [Obj.magic] outside the whitelist *)
   | Stm_escape  (** [peek]/[unsafe_write]/[unsafe_preload] outside the whitelist *)
+  | Crash_swallowed
+      (** [Control.Crashed]/[Faults.Injected_failure] caught without
+          re-raise outside the whitelist *)
 
 val kind_name : kind -> string
 (** Stable machine-readable name: ["catch-all"], ["obj-magic"],
-    ["stm-escape"]. *)
+    ["stm-escape"], ["crash-swallowed"]. *)
 
 type finding = {
   file : string;
@@ -53,9 +63,13 @@ val default_escape_whitelist : string list
 val default_obj_magic_whitelist : string list
 (** Path suffixes allowed to use [Obj.magic]. *)
 
+val default_crash_whitelist : string list
+(** Path suffixes allowed to absorb the raise-at-point fault exceptions. *)
+
 val lint_string :
   ?escape_whitelist:string list ->
   ?obj_magic_whitelist:string list ->
+  ?crash_whitelist:string list ->
   filename:string ->
   string ->
   (finding list, string) result
@@ -66,12 +80,14 @@ val lint_string :
 val lint_file :
   ?escape_whitelist:string list ->
   ?obj_magic_whitelist:string list ->
+  ?crash_whitelist:string list ->
   string ->
   (finding list, string) result
 
 val lint_files :
   ?escape_whitelist:string list ->
   ?obj_magic_whitelist:string list ->
+  ?crash_whitelist:string list ->
   string list ->
   finding list * string list
 (** Lint many files; returns all findings (in file order, then source

@@ -168,6 +168,7 @@ end) : S = struct
        any locks this transaction holds are released for the token holder. *)
     if not (Runtime.Serial.commit_allowed ()) then
       Control.abort_tx Control.Killed;
+    if !Runtime.recovery then Recovery.check_poisoned ();
     let owner = ctx.root.root_tx in
     if Rwsets.Wset.is_empty ctx.root.wset then begin
       if not (validate_views ~owner ctx) then
@@ -191,6 +192,14 @@ end) : S = struct
           match c.parent with None -> () | Some p -> iter_views f p
         in
         Sanitizer.on_commit ~owner ~wv (fun f -> iter_views f ctx)
+      end;
+      (* Last poison check while the locks are still held: a doomed victim
+         must abort here, before installing over a stolen lock. *)
+      if !Runtime.recovery then begin
+        try Recovery.check_poisoned ()
+        with e ->
+          Rwsets.Wset.unlock_all_restore ctx.root.wset;
+          raise e
       end;
       Rwsets.Wset.install_and_unlock ctx.root.wset ~wv
     end;
@@ -243,18 +252,30 @@ end) : S = struct
         in
         let ctx = { tx_id = root_tx; root; parent = None; view } in
         Domain.DLS.set current (Some ctx);
+        if !Runtime.recovery then Registry.publish ~owner:root_tx;
         if !Runtime.sanitizer then Sanitizer.tx_begin ~owner:root_tx;
         Txrec.begin_tx root.rec_state ~tx:root_tx;
         try
           let result = f ctx in
           commit_root ctx;
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:root_tx;
+          if !Runtime.recovery then Registry.clear ();
           Domain.DLS.set current None;
           result
-        with e ->
+        with
+        | Control.Crashed as e ->
+          (* Simulated domain death: leave held locks for recovery to
+             reclaim; mark the registry slot dead. *)
+          Rwsets.Wset.forget_locks root.wset;
+          if !Runtime.recovery then Registry.mark_crashed ();
+          if !Runtime.sanitizer then Sanitizer.tx_crashed ~owner:root_tx;
+          Domain.DLS.set current None;
+          raise e
+        | e ->
           Rwsets.Wset.unlock_all_restore root.wset;
           Txrec.abort_open root.rec_state;
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:root_tx;
+          if !Runtime.recovery then Registry.clear ();
           Domain.DLS.set current None;
           raise e)
 

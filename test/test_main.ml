@@ -45,6 +45,8 @@ let () =
        ("backoff_retry", Test_backoff_retry.suite);
        ("cm", Test_cm.suite);
        ("faults", Test_faults.suite);
+       ("recovery", Test_recovery.suite);
+       ("exception-safety", Test_exception_safety.suite);
        ("chaos", Test_chaos.suite);
        ("sanitizer", Test_sanitizer.suite);
        ("txlint", Test_txlint.suite);

@@ -1,0 +1,228 @@
+(* Crash-tolerant lock recovery: the in-flight registry, lease-based
+   orphan-lock reclamation, poisoned-victim aborts, serial-token
+   reclamation, and the end-to-end domain-kill scenario.
+
+   Real-time leases need real sleeps, so the staleness tests use leases of
+   a few milliseconds and busy-wait past them — long enough to be robust
+   against scheduler noise, short enough to keep the suite quick. *)
+
+open Stm_core
+
+let spin_ns ns =
+  let t0 = Mclock.now_ns () in
+  while Int64.to_int (Int64.sub (Mclock.now_ns ()) t0) < ns do
+    Domain.cpu_relax ()
+  done
+
+let status = Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Registry.status_name s))
+    ( = )
+
+(* Recovery state is process-global; every test restores a clean slate. *)
+let with_recovery ?(lease_ns = 5_000_000) f =
+  Stats.reset_recovery_counters ();
+  Recovery.enable ~lease_ns ();
+  let finally () =
+    Recovery.disable ();
+    Registry.clear ();
+    Stats.reset_recovery_counters ()
+  in
+  Fun.protect ~finally f
+
+let test_registry_lifecycle () =
+  let lease_ns = 5_000_000 in
+  Registry.publish ~owner:9001;
+  Alcotest.check status "published owner is live" Registry.Live
+    (Registry.owner_status ~lease_ns ~owner:9001);
+  Alcotest.(check bool) "counted live" true (Registry.live_count () >= 1);
+  (* No heartbeat past the lease: stale, not dead. *)
+  spin_ns (2 * lease_ns);
+  Alcotest.check status "silent past the lease" Registry.Stale
+    (Registry.owner_status ~lease_ns ~owner:9001);
+  Registry.heartbeat ();
+  Alcotest.check status "heartbeat revives" Registry.Live
+    (Registry.owner_status ~lease_ns ~owner:9001);
+  (* Dooming poisons the published generation. *)
+  Alcotest.(check bool) "fresh slot is not poisoned" false
+    (Registry.poisoned ());
+  Alcotest.(check bool) "doom finds the owner" true
+    (Registry.doom ~owner:9001);
+  Alcotest.(check bool) "doomed slot is poisoned" true (Registry.poisoned ());
+  Alcotest.(check bool) "owner_doomed agrees" true
+    (Registry.owner_doomed ~owner:9001);
+  Alcotest.(check bool) "doom on an absent owner refuses" false
+    (Registry.doom ~owner:424242);
+  (* Republish resets the poison; clear maps the owner to absent = Dead. *)
+  Registry.publish ~owner:9002;
+  Alcotest.(check bool) "republish clears the poison" false
+    (Registry.poisoned ());
+  Registry.clear ();
+  Alcotest.check status "cleared owner reads dead" Registry.Dead
+    (Registry.owner_status ~lease_ns ~owner:9002);
+  Alcotest.check status "unknown owner reads dead" Registry.Dead
+    (Registry.owner_status ~lease_ns ~owner:31337)
+
+let test_mark_crashed_is_dead () =
+  let lease_ns = 5_000_000 in
+  let d =
+    Domain.spawn (fun () ->
+        Registry.publish ~owner:9003;
+        Registry.mark_crashed ())
+  in
+  Domain.join d;
+  Alcotest.check status "crashed owner reads dead immediately" Registry.Dead
+    (Registry.owner_status ~lease_ns ~owner:9003)
+
+let test_vlock_steal_dead_owner () =
+  with_recovery (fun () ->
+      let lock = Vlock.create () in
+      let d =
+        Domain.spawn (fun () ->
+            Registry.publish ~owner:7001;
+            Alcotest.(check bool) "victim acquired its lock" true
+              (Vlock.try_lock_save lock ~owner:7001 >= 0);
+            Registry.mark_crashed ())
+      in
+      Domain.join d;
+      Alcotest.(check bool) "lock is orphaned" true
+        (Vlock.locked (Vlock.stamp lock));
+      let v0 = Vlock.version_of (Vlock.stamp lock) in
+      Alcotest.(check bool) "dead owner's lock is stolen" true
+        (Recovery.try_steal_vlock lock);
+      let s = Vlock.stamp lock in
+      Alcotest.(check bool) "stolen lock is free" false (Vlock.locked s);
+      Alcotest.(check bool) "at a poisoned (bumped) version" true
+        (Vlock.version_of s > v0);
+      Alcotest.(check int) "steal counted" 1
+        (Stats.recovery_counters ()).Stats.orphan_steals;
+      (* A second attempt finds nothing to steal. *)
+      Alcotest.(check bool) "free lock cannot be stolen" false
+        (Recovery.try_steal_vlock lock))
+
+let test_live_owner_is_never_stolen () =
+  (* Generous lease: domain spawn latency must never make the fresh
+     heartbeat look stale. *)
+  with_recovery ~lease_ns:2_000_000_000 (fun () ->
+      let lock = Vlock.create () in
+      Registry.publish ~owner:7002;
+      Alcotest.(check bool) "locked" true
+        (Vlock.try_lock_save lock ~owner:7002 >= 0);
+      (* Heartbeat fresh: a contender (other domain) must refuse. *)
+      let stolen = ref true in
+      let d =
+        Domain.spawn (fun () -> stolen := Recovery.try_steal_vlock lock)
+      in
+      Domain.join d;
+      Alcotest.(check bool) "live owner's lock is left alone" false !stolen;
+      Vlock.unlock_restore lock;
+      Registry.clear ())
+
+let test_stale_steal_poisons_victim () =
+  let lease_ns = 2_000_000 in
+  with_recovery ~lease_ns (fun () ->
+      let lock = Vlock.create () in
+      Registry.publish ~owner:7003;
+      let saved = Vlock.try_lock_save lock ~owner:7003 in
+      Alcotest.(check bool) "locked" true (saved >= 0);
+      (* The victim stops heartbeating (simulated stall), a contender on
+         another domain steals past the lease. *)
+      spin_ns (3 * lease_ns);
+      let stolen = ref false in
+      let d =
+        Domain.spawn (fun () -> stolen := Recovery.try_steal_vlock lock)
+      in
+      Domain.join d;
+      Alcotest.(check bool) "stale owner's lock is stolen" true !stolen;
+      Alcotest.(check bool) "lease expiry counted" true
+        ((Stats.recovery_counters ()).Stats.lease_expiries >= 1);
+      (* The resurrected victim is doomed: its commit must abort ... *)
+      Alcotest.(check bool) "victim is poisoned" true (Registry.poisoned ());
+      Alcotest.check_raises "commit aborts Poisoned"
+        (Control.Abort_tx Control.Poisoned) Recovery.check_poisoned;
+      Alcotest.(check int) "poisoned commit counted" 1
+        (Stats.recovery_counters ()).Stats.poisoned_commits;
+      (* ... and its CAS-based release fails silently instead of clobbering
+         the thief's poisoned version. *)
+      Alcotest.(check bool) "victim's release refuses" false
+        (Vlock.unlock_restore_from lock ~saved);
+      Alcotest.(check bool) "lock stays free at the stolen version" false
+        (Vlock.locked (Vlock.stamp lock)))
+
+let test_serial_token_reclaim () =
+  with_recovery ~lease_ns:1_000_000 (fun () ->
+      let d =
+        Domain.spawn (fun () ->
+            Alcotest.(check bool) "token acquired" true
+              (Runtime.Serial.enter ())
+            (* dies without exit: the token is orphaned *))
+      in
+      Domain.join d;
+      Alcotest.(check bool) "token is held by the dead domain" true
+        (Runtime.Serial.active ());
+      (* enter must reclaim the orphan instead of spinning forever; the
+         giveup deadline turns a regression into a failure, not a hang. *)
+      let t0 = Mclock.now_ns () in
+      let expired () =
+        Int64.to_int (Int64.sub (Mclock.now_ns ()) t0) > 2_000_000_000
+      in
+      Alcotest.(check bool) "token reclaimed from the dead holder" true
+        (Runtime.Serial.enter ~giveup:expired ());
+      Runtime.Serial.exit ();
+      Alcotest.(check bool) "token free again" false (Runtime.Serial.active ());
+      Alcotest.(check bool) "reclaim counted as a steal" true
+        ((Stats.recovery_counters ()).Stats.orphan_steals >= 1))
+
+(* End-to-end: the chaos domain-kill scenario, both directions.  Killers
+   crash mid-commit holding write locks; with recovery the survivors steal
+   and keep committing, without it they wedge on the orphans. *)
+
+let test_kill_with_recovery_progresses () =
+  List.iter
+    (fun engine ->
+      let r =
+        Harness.Chaos.run_kill ~killers:1 ~survivors:2 ~txns:16
+          ~lease_ns:5_000_000 ~recovery:true engine
+      in
+      let name = r.Harness.Chaos.k_engine in
+      Alcotest.(check bool) (name ^ ": crashed") true
+        (r.Harness.Chaos.k_crashes >= 1);
+      Alcotest.(check bool) (name ^ ": survivors progressed") true
+        (r.Harness.Chaos.k_commits > 0);
+      Alcotest.(check bool) (name ^ ": stole the orphaned lock") true
+        (r.Harness.Chaos.k_orphan_steals >= 1);
+      Alcotest.(check bool) (name ^ ": scenario ok") true
+        (Harness.Chaos.kill_ok r))
+    [ Harness.Chaos.TL2; Harness.Chaos.Boost ]
+
+let test_kill_without_recovery_wedges () =
+  let r =
+    Harness.Chaos.run_kill ~killers:1 ~survivors:2 ~txns:16 ~recovery:false
+      Harness.Chaos.TL2
+  in
+  Alcotest.(check bool) "crashed" true (r.Harness.Chaos.k_crashes >= 1);
+  Alcotest.(check bool) "survivors wedged on the orphaned lock" true
+    r.Harness.Chaos.k_wedged;
+  Alcotest.(check bool) "nothing was stolen" true
+    (r.Harness.Chaos.k_orphan_steals = 0);
+  Alcotest.(check bool) "cells still conserved" true
+    r.Harness.Chaos.k_conserved;
+  Alcotest.(check bool) "scenario ok (the wedge is the expected outcome)"
+    true
+    (Harness.Chaos.kill_ok r)
+
+let suite =
+  [ Alcotest.test_case "registry lifecycle" `Quick test_registry_lifecycle;
+    Alcotest.test_case "crashed slot reads dead" `Quick
+      test_mark_crashed_is_dead;
+    Alcotest.test_case "dead owner's vlock is stolen" `Quick
+      test_vlock_steal_dead_owner;
+    Alcotest.test_case "live owner is never stolen" `Quick
+      test_live_owner_is_never_stolen;
+    Alcotest.test_case "stale steal poisons the victim" `Quick
+      test_stale_steal_poisons_victim;
+    Alcotest.test_case "orphaned serial token is reclaimed" `Quick
+      test_serial_token_reclaim;
+    Alcotest.test_case "domain-kill: recovery keeps survivors going" `Slow
+      test_kill_with_recovery_progresses;
+    Alcotest.test_case "domain-kill: no recovery wedges" `Slow
+      test_kill_without_recovery_wedges ]

@@ -273,6 +273,7 @@ let golden_json =
     "faults": null
   },
   "sanitizer": null,
+  "recovery": null,
   "figures": [
     {
       "figure": "6a",

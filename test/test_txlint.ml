@@ -68,6 +68,41 @@ let test_stm_escape () =
   Alcotest.(check bool) "suffix cannot match mid-name" true
     (lint ~filename:"lib/harness/not_target.ml" src <> [])
 
+(* The crash-swallowed check: handlers that absorb the raise-at-point
+   fault exceptions defeat the crash simulation, so every fixture the
+   fault layer can produce must be detected. *)
+let test_crash_swallowed () =
+  let flagged src =
+    List.exists (fun f -> f.Lint.kind = Lint.Crash_swallowed) (lint src)
+  in
+  Alcotest.(check bool) "Control.Crashed swallowed" true
+    (flagged "let f x = try x () with Control.Crashed -> ()");
+  Alcotest.(check bool) "Faults.Injected_failure swallowed" true
+    (flagged "let f x = try x () with Faults.Injected_failure -> 0");
+  Alcotest.(check bool) "match-exception form" true
+    (flagged "let f x = match x () with v -> v | exception Control.Crashed -> 0");
+  Alcotest.(check bool) "hidden in an or-pattern" true
+    (flagged "let f x = try x () with Not_found | Control.Crashed -> 0");
+  Alcotest.(check bool) "unqualified constructor still caught" true
+    (flagged "let f x = try x () with Crashed -> ()");
+  (* The sanctioned patterns. *)
+  Alcotest.(check bool) "cleanup-then-reraise ok" false
+    (flagged "let f x = try x () with Control.Crashed as e -> cleanup (); raise e");
+  Alcotest.(check bool) "guarded handler ok" false
+    (flagged "let f x = try x () with Control.Crashed when debug -> 0");
+  Alcotest.(check bool) "unrelated exception ok" false
+    (flagged "let f x = try x () with Not_found -> 0");
+  (* The chaos harness orchestrates the crashes and may absorb them. *)
+  Alcotest.(check (list findings)) "chaos harness whitelisted" []
+    (lint ~filename:"/root/repo/lib/harness/chaos.ml"
+       "let f x = try x () with Control.Crashed -> ()");
+  (* Stable machine name for CI greps. *)
+  (match lint "let f x = try x () with Control.Crashed -> ()" with
+  | [ f ] ->
+    Alcotest.(check string) "stable kind name" "crash-swallowed"
+      (Lint.kind_name f.Lint.kind)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs))
+
 let test_parse_error_reported () =
   match Lint.lint_string ~filename:"broken.ml" "let = (" with
   | Ok _ -> Alcotest.fail "expected a parse error"
@@ -108,6 +143,8 @@ let suite =
     Alcotest.test_case "Obj.magic outside whitelist" `Quick test_obj_magic;
     Alcotest.test_case "escape hatches outside whitelist" `Quick
       test_stm_escape;
+    Alcotest.test_case "crash-fault swallowing flagged" `Quick
+      test_crash_swallowed;
     Alcotest.test_case "parse errors reported" `Quick
       test_parse_error_reported;
     Alcotest.test_case "repo lints clean" `Quick test_repo_is_clean ]
