@@ -88,6 +88,15 @@ let in_transaction () = Option.is_some (Domain.DLS.get current)
     Aborts the transaction if the lock stays unavailable past the
     transaction's patience. *)
 let acquire tx lock =
+  (* Boosting applies operations eagerly, so a doomed victim (its stripe
+     stolen by recovery) is not stopped by any install-time check — it
+     would keep mutating shared structures it no longer isolates.  Every
+     operation acquires its stripe first, so checking here (before even
+     the reentrant fast path: a stolen stripe makes that "stable local
+     fact" false) bounds the damage to at most one operation past the
+     steal; the abort rolls the undo log back and releases the remaining
+     locks. *)
+  Recovery.check_poisoned ();
   (* Reentrant fast path: [holder = root_id] can only have been set by this
      transaction and is only cleared at its own commit/abort, so the read
      is a stable local fact — and the invariant "we hold it iff it is in
@@ -172,6 +181,11 @@ let atomic f =
         Txrec.begin_tx tx.rec_state ~tx:tx.root_id;
         try
           let result = f tx in
+          (* Commit gate: a victim whose stripe was stolen must not commit
+             — the steal protocol relies on the doomed victim aborting
+             (rolling its undo log back) instead of reporting success over
+             structures another transaction now owns. *)
+          Recovery.check_poisoned ();
           (* Commit: changes are already applied to the base objects;
              drop the undo log and release the locks. *)
           tx.undo <- [];

@@ -4,6 +4,11 @@
    the owner is dead (domain exited / crashed) or its heartbeat is stale
    past the lease, the contender steals the lock.  The protocol, in order:
 
+   0. read the victim's identity from the lock's claim cell
+      ({!Vlock.holder}), which recovery-mode acquisitions populate
+      {e before} their stamp CAS — never from the plain owner field,
+      which is written after it and can name a stale previous owner
+      against a freshly locked stamp;
    1. doom the victim's slot (generation bump) — a resurrected victim now
       fails its poison check before installing anything;
    2. mint a poisoned version strictly above the version observed under
@@ -12,7 +17,10 @@
       re-read, never validating against torn state);
    3. CAS the stamp from the exact observed locked value to the poisoned
       version — if the victim released (or another thief won) meanwhile,
-      the CAS fails and nothing happened.
+      the CAS fails and nothing happened — and doom the displaced claim
+      as well when it differs from the victim (a release/re-acquire that
+      cycled back to the same stamp: the new holder lost its lock to the
+      steal and must abort poisoned rather than half-commit).
 
    Doom-before-steal also serves the sanitizer: by the time a San_steal
    event is checked, the victim's slot is either dead/stale or visibly
@@ -41,6 +49,12 @@ let serial_reclaim () =
     | Registry.Live -> ()
     | (Registry.Stale | Registry.Dead) as st ->
       if st = Registry.Stale then Stats.record_lease_expiry ();
+      (* Doom before force-clear, mirroring the vlock/abstract-lock steal
+         paths: while the token sat free a concurrent commit may already
+         have happened, so a stale-but-alive holder that resurrects must
+         not keep believing it runs in exclusive serial mode — its next
+         [check_poisoned] (commit entry) aborts it [Poisoned] instead. *)
+      ignore (Registry.doom_domain ~domain:h);
       if Runtime.Serial.force_clear ~expected:h then begin
         Stats.record_orphan_steal ();
         if !Runtime.sanitizer then
@@ -71,22 +85,47 @@ let try_steal_vlock lock =
        let s = Vlock.stamp lock in
        Vlock.locked s
        && begin
-            (* The plain owner field may be stale; the CAS on the exact
-               observed stamp in [Vlock.steal] makes that harmless. *)
-            let victim = Vlock.owner lock in
-            match Registry.owner_status ~lease_ns:(lease_ns ()) ~owner:victim with
-            | Registry.Live -> false
-            | (Registry.Stale | Registry.Dead) as st ->
-              if st = Registry.Stale then Stats.record_lease_expiry ();
-              (* Doom first: the victim must be poisoned before the lock
-                 can change hands. *)
-              ignore (Registry.doom ~owner:victim);
-              let pv =
-                Clock.tick ~floor:(fun () -> Vlock.version_of s) ()
-              in
-              let stolen = Vlock.steal lock ~observed:s ~victim ~version:pv in
-              if stolen then Stats.record_orphan_steal ();
-              stolen
+            (* Identity comes from the claim cell, never from the plain
+               owner field: the field is written only after the winning
+               stamp CAS, so against a freshly locked stamp it can still
+               name the previous — possibly dead — owner, and dooming that
+               wrong owner would let the steal take the lock from a live,
+               undoomed holder.  The claim is CASed in before the stamp
+               CAS and cleared only after the release/steal transition
+               ([Vlock.try_lock]'s protocol), so [holder >= 0] against a
+               locked stamp is always the actual holder.  -1 means a
+               release or steal handover is in flight (or the lock predates
+               recovery being enabled): refuse and let the contender
+               re-probe. *)
+            let victim = Vlock.holder lock in
+            victim >= 0
+            && begin
+                 match
+                   Registry.owner_status ~lease_ns:(lease_ns ()) ~owner:victim
+                 with
+                 | Registry.Live -> false
+                 | (Registry.Stale | Registry.Dead) as st ->
+                   if st = Registry.Stale then Stats.record_lease_expiry ();
+                   (* Doom first: the victim must be poisoned before the
+                      lock can change hands. *)
+                   ignore (Registry.doom ~owner:victim);
+                   let pv =
+                     Clock.tick ~floor:(fun () -> Vlock.version_of s) ()
+                   in
+                   (match Vlock.steal lock ~observed:s ~victim ~version:pv with
+                   | None -> false
+                   | Some displaced ->
+                     (* If the displaced claim is not the victim we
+                        validated, the lock cycled back to the same stamp
+                        under a new holder while we probed.  That holder
+                        lost its lock to this steal, so doom it too — a
+                        spurious-but-safe poisoned abort for a transaction
+                        that can no longer commit intact anyway. *)
+                     if displaced >= 0 && displaced <> victim then
+                       ignore (Registry.doom ~owner:displaced);
+                     Stats.record_orphan_steal ();
+                     true)
+               end
           end
      end
 

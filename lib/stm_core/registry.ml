@@ -57,12 +57,15 @@ let my_slot : slot option ref Domain.DLS.key =
 
 let release_slot s =
   Atomic.set s.dead true;
-  (* Publish-order: dead must be visible before the slot is freed, so a
-     contender never observes a freed-but-live slot for an exited domain.
-     Freeing keeps the table bounded across unboundedly many domains. *)
+  (* Publish-order: dead must be visible before the slot is freed, and it
+     STAYS set on the freed slot — only the next occupant ([claim], or
+     [publish] refreshing a kept slot) resets it.  Clearing it here would
+     let a contender that matched this slot just before the fields below
+     were cleared read [dead = false] plus the old heartbeat and classify
+     an exited domain as live, delaying reclamation.  Freeing keeps the
+     table bounded across unboundedly many domains. *)
   Atomic.set s.owner (-1);
-  Atomic.set s.domain (-1);
-  Atomic.set s.dead false
+  Atomic.set s.domain (-1)
 
 let claim () =
   let self = Runtime.current_proc () in
@@ -172,8 +175,23 @@ let doom ~owner =
     Atomic.incr s.generation;
     Atomic.get s.owner = owner
 
+(* Doom by domain id: used by the serial-token reclaim, whose holder is a
+   domain (the token outlives any one transaction id).  Same spurious-
+   abort caveat as [doom]. *)
+let doom_domain ~domain =
+  match find_by (fun s -> Atomic.get s.domain = domain) with
+  | None -> false
+  | Some s ->
+    Atomic.incr s.generation;
+    Atomic.get s.domain = domain
+
 let owner_doomed ~owner =
   match find_by (fun s -> Atomic.get s.owner = owner) with
+  | None -> false
+  | Some s -> Atomic.get s.generation > Atomic.get s.published
+
+let domain_doomed ~domain =
+  match find_by (fun s -> Atomic.get s.domain = domain) with
   | None -> false
   | Some s -> Atomic.get s.generation > Atomic.get s.published
 

@@ -46,10 +46,18 @@ val doom : owner:int -> bool
     {!Recovery} immediately {e before} stealing a lock, so the victim is
     poisoned first and can never install over a stolen lock. *)
 
+val doom_domain : domain:int -> bool
+(** Like {!doom}, but keyed by domain id: used by the serial-token
+    reclaim, whose holder is a domain rather than a transaction.  [false]
+    if the domain has no slot. *)
+
 val owner_doomed : owner:int -> bool
 (** The slot publishing [owner] has been doomed since its last publish.
     Used by the sanitizer to accept steals whose victim was doomed before
     the steal event was observed. *)
+
+val domain_doomed : domain:int -> bool
+(** Same, keyed by domain id (serial-token steals). *)
 
 val owner_status : lease_ns:int -> owner:int -> status
 (** Status of the transaction id [owner].  Absence maps to [Dead] (the

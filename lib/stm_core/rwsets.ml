@@ -336,27 +336,56 @@ module Wset = struct
     !top
 
   let install_and_unlock t ~wv =
+    let stolen = ref false in
     Vec.iter
       (fun (W e) ->
         assert e.locked;
         if !Runtime.recovery then begin
           (* A thief may take this lock mid-install (lease expiry under
-             extreme delay).  Only write under a stamp that is still our
-             own locked image, and release by CAS, so a stolen location is
-             neither clobbered nor unlocked out from under its new owner. *)
+             extreme delay).  The stamp pre-check and the content write
+             below are NOT atomic: a steal landing between them still
+             clobbers the freshly stolen location.  That residual window
+             is inherent to lease-based reclamation (DESIGN.md 5h) — the
+             pre-check narrows it from the whole install loop to a couple
+             of instructions, the poisoned version the thief minted means
+             readers treat the location as "too new" and re-read rather
+             than validate a torn value, and the failed release CAS below
+             detects the steal after the fact.  What IS guaranteed is
+             that a stolen lock is never unlocked out from under its new
+             owner (both releases go through an exact-stamp CAS), and
+             that a detected steal never turns into a silently-reported
+             full commit. *)
           if Vlock.stamp e.tv.Tvar.lock = e.w_saved lor 1 then begin
             Tvar.unsafe_write e.tv e.pending;
-            ignore
-              (Vlock.unlock_to_from e.tv.Tvar.lock ~saved:e.w_saved
-                 ~version:wv)
+            if
+              not
+                (Vlock.unlock_to_from e.tv.Tvar.lock ~saved:e.w_saved
+                   ~version:wv)
+            then stolen := true
           end
+          else stolen := true
         end
         else begin
           Tvar.unsafe_write e.tv e.pending;
           Vlock.unlock_to e.tv.Tvar.lock ~version:wv
         end;
         e.locked <- false)
-      t.entries
+      t.entries;
+    (* A stolen entry means part of the write set is published and part is
+       not.  Never report that as a successful commit: finish the loop
+       first (releasing every lock still held, so the abort unwinds
+       cleanly), then count the event and abort [Poisoned].  The thief's
+       doom of our registry slot normally catches this earlier, at
+       [Recovery.check_poisoned] on commit entry — this is the backstop
+       for steals that land mid-install.  The entries already published
+       stay published (they carry the commit version and consistent
+       values; undoing them is impossible once their locks are gone), so
+       the history records a partial install flagged by the
+       [poisoned_commits] counter rather than a silent success. *)
+    if !stolen then begin
+      Stats.record_poisoned_commit ();
+      Control.abort_tx Control.Poisoned
+    end
 
   let validate_no_foreign_lock t ~owner =
     Vec.for_all

@@ -111,8 +111,14 @@ module Wset : sig
   val install_and_unlock : t -> wv:int -> unit
   (** Write every pending value into its tvar and release the lock,
       publishing version [wv].  All entries must be locked by the caller.
-      Under recovery, entries whose lock was stolen mid-install are
-      skipped (neither written nor unlocked). *)
+      Under recovery, entries whose lock was stolen mid-install are not
+      unlocked (the thief owns them now) and — detection permitting — not
+      written; after the loop has released every lock still held, a
+      detected steal raises {!Control.Abort_tx}[ Poisoned] and bumps the
+      [poisoned_commits] counter, because the write set is then only
+      partially published and must not be reported as a commit.  The
+      steal-vs-write race this leaves open is documented in
+      DESIGN.md §5h. *)
 
   val unlock_all_restore : t -> unit
   (** Release every lock this set acquired, restoring pre-lock stamps (abort

@@ -219,9 +219,10 @@ let on_steal ~pe ~victim ~version =
   let lease_ns = Recovery.lease_ns () in
   let victim_gone =
     if pe = Runtime.clock_pe then
-      match Registry.domain_status ~lease_ns ~domain:victim with
+      (match Registry.domain_status ~lease_ns ~domain:victim with
       | Registry.Dead | Registry.Stale -> true
-      | Registry.Live -> false
+      | Registry.Live -> false)
+      || Registry.domain_doomed ~domain:victim
     else
       Hashtbl.mem crashed victim
       || (match Registry.owner_status ~lease_ns ~owner:victim with

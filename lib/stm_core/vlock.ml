@@ -8,6 +8,7 @@
 
 type t = {
   stamp_cell : int Atomic.t;
+  claim : int Atomic.t;     (* recovery-mode holder identity, -1 = none *)
   mutable owner_id : int;   (* written only by the lock holder *)
   mutable saved : int;      (* stamp to restore on abort, ditto *)
   pe : int;
@@ -21,7 +22,11 @@ let no_pe = -2
    would couple unrelated locations' commit paths. *)
 let create ?(pe = no_pe) () =
   Padding.copy_as_padded
-    { stamp_cell = Padding.atomic 0; owner_id = -1; saved = 0; pe }
+    { stamp_cell = Padding.atomic 0;
+      claim = Atomic.make (-1);
+      owner_id = -1;
+      saved = 0;
+      pe }
 
 let pe t = t.pe
 
@@ -32,35 +37,27 @@ let stamp t =
 let locked s = s land 1 = 1
 let version_of s = s lsr 1
 
-let try_lock t ~owner =
-  if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
-  if !Runtime.fault_injection && Faults.inject_lock_fail () then false
-  else
-  let s = Atomic.get t.stamp_cell in
-  if locked s then false
-  else if Atomic.compare_and_set t.stamp_cell s (s lor 1) then begin
-    t.owner_id <- owner;
-    t.saved <- s;
-    if !Runtime.sanitizer then
-      Runtime.sanitizer_event
-        (Runtime.San_acquire { pe = t.pe; owner; version = s lsr 1 });
-    true
-  end
-  else false
+(* The acquisition core, shared by [try_lock] and [try_lock_save]:
+   returns the observed pre-lock stamp, or -1 on failure.
 
-(* Like [try_lock], but returns the observed pre-lock stamp (-1 on
-   failure).  Callers that may have their lock stolen (recovery enabled)
-   record the returned stamp per write-set entry and release with the
-   CAS-based [unlock_restore_from]/[unlock_to_from]: the shared [saved]
-   field can be overwritten by a thief's next locker before the victim
-   unwinds, so it cannot be trusted for a CAS-based release. *)
-let try_lock_save t ~owner =
-  if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
-  if !Runtime.fault_injection && Faults.inject_lock_fail () then -1
-  else
-  let s = Atomic.get t.stamp_cell in
-  if locked s then -1
-  else if Atomic.compare_and_set t.stamp_cell s (s lor 1) then begin
+   [owner_id] is a plain field written only after the winning stamp CAS,
+   which is fine for its consumers (self-ownership checks) but means a
+   concurrent reader can pair a freshly locked stamp with the *previous*
+   owner.  Recovery must never do that — dooming and stealing on a stale
+   identity would poison the wrong transaction and take the lock from its
+   live holder — so under recovery the acquisition is a two-word protocol:
+   the locker first CASes [claim] from -1 to its own id, and only then
+   CASes the stamp.  While a claim is held no other recovery-mode locker
+   can take the stamp, so a locked stamp always pairs with its holder's
+   claim; the claim is cleared only {e after} the stamp transition on
+   release (and by the thief after a steal), so the invariant
+
+     locked stamp /\ claim >= 0  ==>  claim = current holder
+
+   holds at every instant.  Recovery reads identity exclusively through
+   [holder] (the claim), never through [owner_id]. *)
+let acquire_from t ~owner s =
+  if Atomic.compare_and_set t.stamp_cell s (s lor 1) then begin
     t.owner_id <- owner;
     t.saved <- s;
     if !Runtime.sanitizer then
@@ -70,7 +67,47 @@ let try_lock_save t ~owner =
   end
   else -1
 
+let try_lock_aux t ~owner =
+  if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  if !Runtime.fault_injection && Faults.inject_lock_fail () then -1
+  else
+  let s = Atomic.get t.stamp_cell in
+  if locked s then -1
+  else if not !Runtime.recovery then acquire_from t ~owner s
+  else if Atomic.compare_and_set t.claim (-1) owner then begin
+    let r = acquire_from t ~owner s in
+    (* With the claim held the stamp cannot be locked by anyone else, so
+       this back-out is only reachable in mixed-mode runs (a lock acquired
+       before recovery was enabled, released concurrently). *)
+    if r < 0 then ignore (Atomic.compare_and_set t.claim owner (-1));
+    r
+  end
+  else -1
+
+let try_lock t ~owner = try_lock_aux t ~owner >= 0
+
+(* Like [try_lock], but returns the observed pre-lock stamp (-1 on
+   failure).  Callers that may have their lock stolen (recovery enabled)
+   record the returned stamp per write-set entry and release with the
+   CAS-based [unlock_restore_from]/[unlock_to_from]: the shared [saved]
+   field can be overwritten by a thief's next locker before the victim
+   unwinds, so it cannot be trusted for a CAS-based release. *)
+let try_lock_save t ~owner = try_lock_aux t ~owner
+
 let owner t = t.owner_id
+
+let holder t = Atomic.get t.claim
+
+(* Clear [me]'s claim after the stamp transition of a release.  Only
+   called on paths where the caller still held the lock at the stamp
+   transition (so the claim is necessarily [me] or already -1); a release
+   CAS that failed because the lock was stolen must NOT call this — by
+   then the thief owns the handover and a new locker's claim may be in
+   the cell.  The cheap read makes the recovery-off case (claim never
+   set) free. *)
+let clear_claim t ~me =
+  if Atomic.get t.claim >= 0 then
+    ignore (Atomic.compare_and_set t.claim me (-1))
 
 let owner_opt t =
   let s = Atomic.get t.stamp_cell in
@@ -86,7 +123,9 @@ let unlock_restore t =
   if !Runtime.sanitizer then
     Runtime.sanitizer_event
       (Runtime.San_release { pe = t.pe; owner = t.owner_id; version = None });
-  Atomic.set t.stamp_cell t.saved
+  let me = t.owner_id in
+  Atomic.set t.stamp_cell t.saved;
+  clear_claim t ~me
 
 let unlock_to t ~version =
   if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
@@ -94,7 +133,9 @@ let unlock_to t ~version =
     Runtime.sanitizer_event
       (Runtime.San_release
          { pe = t.pe; owner = t.owner_id; version = Some version });
-  Atomic.set t.stamp_cell (version lsl 1)
+  let me = t.owner_id in
+  Atomic.set t.stamp_cell (version lsl 1);
+  clear_claim t ~me
 
 (* CAS-based releases, used when recovery may steal the lock out from
    under its owner: the release succeeds only if the stamp is still the
@@ -103,38 +144,60 @@ let unlock_to t ~version =
    (poisoned) version and versions never decrease. *)
 let unlock_restore_from t ~saved =
   if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  let me = t.owner_id in
   let released = Atomic.compare_and_set t.stamp_cell (saved lor 1) saved in
-  if released && !Runtime.sanitizer then
-    Runtime.sanitizer_event
-      (Runtime.San_release { pe = t.pe; owner = t.owner_id; version = None });
+  if released then begin
+    clear_claim t ~me;
+    if !Runtime.sanitizer then
+      Runtime.sanitizer_event
+        (Runtime.San_release { pe = t.pe; owner = me; version = None })
+  end;
   released
 
 let unlock_to_from t ~saved ~version =
   if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
+  let me = t.owner_id in
   let released =
     Atomic.compare_and_set t.stamp_cell (saved lor 1) (version lsl 1)
   in
-  if released && !Runtime.sanitizer then
-    Runtime.sanitizer_event
-      (Runtime.San_release
-         { pe = t.pe; owner = t.owner_id; version = Some version });
+  if released then begin
+    clear_claim t ~me;
+    if !Runtime.sanitizer then
+      Runtime.sanitizer_event
+        (Runtime.San_release { pe = t.pe; owner = me; version = Some version })
+  end;
   released
 
 (* Recovery-only: transition a lock observed locked (stamp = [observed])
-   to unlocked poisoned [version].  The CAS from the exact observed stamp
-   is what makes the preceding owner/status reads safe: if the victim
-   meanwhile released (or another thief won), the stamp moved and the
-   steal fails harmlessly. *)
+   to unlocked poisoned [version].  Two things make the steal sound: the
+   [victim] identity comes from the claim cell ([holder]), which under the
+   acquisition protocol above can only name the actual current holder of a
+   locked stamp; and the CAS from the exact observed stamp means that if
+   the victim meanwhile released (or another thief won), the stamp moved
+   and the steal fails harmlessly.
+
+   On success the claim is displaced unconditionally and returned.  The
+   cell has been continuously occupied since before [observed] was locked
+   (a holder's claim clears only after its stamp transition, and a failed
+   CAS-release does not clear), so the displaced value is exactly whoever
+   held the lock at the instant it was taken.  Normally that is [victim];
+   it differs only when the lock was released and re-acquired at the very
+   same stamp (a restore/relock ABA) between the thief's reads and this
+   CAS — the caller must doom that holder too, since the exact-stamp CAS
+   cannot distinguish the two histories. *)
 let steal t ~observed ~victim ~version =
   if !Runtime.tracing then Runtime.trace_access (Runtime.Lock t.pe);
-  let stolen =
+  if
     locked observed
     && Atomic.compare_and_set t.stamp_cell observed (version lsl 1)
-  in
-  if stolen && !Runtime.sanitizer then
-    Runtime.sanitizer_event
-      (Runtime.San_steal { pe = t.pe; victim; version = Some version });
-  stolen
+  then begin
+    let displaced = Atomic.exchange t.claim (-1) in
+    if !Runtime.sanitizer then
+      Runtime.sanitizer_event
+        (Runtime.San_steal { pe = t.pe; victim; version = Some version });
+    Some displaced
+  end
+  else None
 
 let pp ppf t =
   let s = Atomic.get t.stamp_cell in

@@ -32,7 +32,10 @@ val version_of : int -> int
 
 val try_lock : t -> owner:int -> bool
 (** Attempt to acquire the lock for transaction [owner].  Returns [false]
-    without blocking if the lock is already held. *)
+    without blocking if the lock is already held.  While recovery is
+    enabled, acquisition first claims the holder-identity cell read by
+    {!holder} and only then CASes the stamp, so a thief can never pair a
+    locked stamp with a stale previous owner. *)
 
 val try_lock_save : t -> owner:int -> int
 (** Like {!try_lock}, but returns the pre-lock stamp observed by the
@@ -44,13 +47,24 @@ val try_lock_save : t -> owner:int -> int
 val owner : t -> int
 (** Owner recorded by the last successful [try_lock].  {b Contract}: the
     plain field is only meaningful against a locked stamp the caller has
-    already observed, and even then it may be stale — another transaction
-    can release and re-acquire the lock between the stamp load and this
-    read.  Safe uses are (a) self-ownership checks, where staleness is
-    impossible because only the caller writes its own id, and (b) recovery,
-    which re-validates by CASing on the exact observed stamp so a stale
-    owner read can only cause a failed (harmless) steal.  For anything
-    else use {!owner_opt}. *)
+    already observed, and even then it may be stale — the field is written
+    {e after} the winning stamp CAS, so a freshly locked stamp can still
+    expose the {e previous} owner, and another transaction can release and
+    re-acquire the lock between the stamp load and this read.  The only
+    safe use is self-ownership checks, where staleness is impossible
+    because only the caller writes its own id.  Recovery must use
+    {!holder}; anything else should use {!owner_opt}. *)
+
+val holder : t -> int
+(** The recovery claim cell: the identity CASed in {e before} the stamp
+    CAS by recovery-mode acquisitions and cleared only {e after} the
+    stamp transition of a release (or by the thief after a steal).
+    Invariant: a locked stamp together with [holder >= 0] always names the
+    actual current holder — never a stale predecessor — which is what
+    makes doom-then-steal target the right victim.  [-1] means no
+    recovery-mode holder: unlocked, a release/steal handover in flight, or
+    a lock acquired while recovery was disabled (such locks are not
+    reclaimable). *)
 
 val owner_opt : t -> int option
 (** [Some o] when the lock is currently locked with recorded owner [o],
@@ -80,11 +94,17 @@ val unlock_to_from : t -> saved:int -> version:int -> bool
 (** CAS-based {!unlock_to} from a stamp recorded by {!try_lock_save};
     same steal semantics as {!unlock_restore_from}. *)
 
-val steal : t -> observed:int -> victim:int -> version:int -> bool
+val steal : t -> observed:int -> victim:int -> version:int -> int option
 (** Recovery-only: transition the lock from the locked stamp [observed]
     to unlocked poisoned [version] (which must be strictly greater than
-    [version_of observed]).  Fails (harmlessly) if the stamp moved since
-    it was observed.  Only {!Recovery.try_steal_vlock} may call this, and
-    only after dooming the victim's registry slot. *)
+    [version_of observed]), displacing the claim cell.  [None] if the
+    stamp moved since it was observed (the steal failed harmlessly);
+    [Some displaced] on success, where [displaced] identifies whoever
+    actually held the lock at the instant it was taken — normally
+    [victim], but a different id when the lock cycled through a
+    release/re-acquire back to the same stamp, in which case the caller
+    must doom [displaced] as well.  Only {!Recovery.try_steal_vlock} may
+    call this, with [victim] read from {!holder} and the victim's registry
+    slot already doomed. *)
 
 val pp : Format.formatter -> t -> unit
