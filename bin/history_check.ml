@@ -12,6 +12,10 @@
 open Cmdliner
 open Stm_core
 
+[@@@txlint.allow "stm-escape"
+    "post-run checkers read committed state after the scheduler run \
+     completes"]
+
 let scenario (module S : Stm_intf.S) =
   let x = S.tvar 0 and y = S.tvar 0 in
   let contains tv = S.atomic ~mode:Elastic (fun ctx -> S.read ctx tv) in

@@ -118,7 +118,12 @@ let acquire tx lock =
        it behaves exactly like contention: retry, then abort at patience. *)
     if
       (not (!Runtime.fault_injection && Faults.inject_lock_fail ()))
-      && Abstract_lock.try_acquire lock ~owner:tx.root_id
+      && (Abstract_lock.try_acquire lock
+            ~owner:tx.root_id
+          [@txlint.allow "lock-release"
+              "abstract locks accumulate in tx.locks; commit/abort \
+               release them all in [finish], and a simulated crash must \
+               leave them held for lease reclamation"])
     then begin
       tx.locks <- lock :: tx.locks;
       Txrec.acquire tx.rec_state ~pe:(Abstract_lock.id lock)

@@ -68,7 +68,14 @@ module Make (P : POLICY) : Stm_intf.S = struct
 
   let tvar = Tvar.make
   let peek = Tvar.peek
+  [@@txlint.allow "stm-escape"
+       "re-export of the quiescent escape hatch; callers are linted at \
+        their own sites"]
+
   let unsafe_write = Tvar.unsafe_write
+  [@@txlint.allow "stm-escape"
+       "re-export of the quiescent escape hatch; callers are linted at \
+        their own sites"]
   let tvar_id = Tvar.id
   let in_transaction () = Option.is_some (Domain.DLS.get current)
 
@@ -121,7 +128,13 @@ module Make (P : POLICY) : Stm_intf.S = struct
       else 0
     in
     let rec go n =
-      if Rwsets.Wset.lock_one ctx.wset tv ~owner:ctx.tx_id then ()
+      if
+        (Rwsets.Wset.lock_one ctx.wset tv
+           ~owner:ctx.tx_id
+         [@txlint.allow "lock-release"
+             "encounter-time locks join the wset; commit releases them \
+              on every path (install, abort-restore, crash-forget)"])
+      then ()
       else if n > 0 then begin
         Domain.cpu_relax ();
         go (n - 1)
@@ -233,7 +246,11 @@ module Make (P : POLICY) : Stm_intf.S = struct
            handler, not in the success branch of a match on [f ctx]. *)
         try
           let result = f ctx in
-          commit ctx;
+          (commit ctx
+           [@txlint.allow "tx-escape"
+               "the engine's attempt thunk commits here: installing the \
+                write set via unsafe_write under the write locks is the \
+                one sanctioned escape"]);
           if Stats.detailed_enabled () then
             Stats.record_rwset_sizes stats ~reads:(Rwsets.Rset.length ctx.rset)
               ~writes:(Rwsets.Wset.size ctx.wset);

@@ -79,12 +79,19 @@ module Make (S : Stm_core.Stm_intf.S) (K : Set_intf.ORDERED) = struct
     let chain =
       List.fold_right (fun k acc -> Node { key = k; next = S.tvar acc }) keys Nil
     in
-    S.unsafe_write head chain
+    (S.unsafe_write head chain
+     [@txlint.allow "stm-escape"
+         "quiescent bulk preload; runs strictly before any domain \
+          spawns"])
 
   (* Quiescent structural check: strictly ascending keys. *)
   let check head =
     let rec go last tv =
-      match S.peek tv with
+      match
+        (S.peek tv
+         [@txlint.allow "stm-escape"
+             "quiescent structural check, run after all domains join"])
+      with
       | Nil -> Ok ()
       | Node { key; next } -> (
         match last with

@@ -25,6 +25,14 @@
 open Stm_core
 open Schedsim
 
+[@@@txlint.allow "stm-escape"
+    "the chaos driver peeks committed state between scheduler steps and \
+     after runs, never inside a transaction"]
+
+[@@@txlint.allow "crash-swallowed"
+    "the chaos driver injected the crashes; it alone absorbs them to \
+     keep exploring schedules"]
+
 type engine = OE | TL2 | View | Boost
 
 let all_engines = [ OE; TL2; View; Boost ]

@@ -4,6 +4,10 @@
 
 open Stm_core
 
+[@@@txlint.allow "stm-escape"
+    "preload and post-run check helpers are quiescent: they run \
+     strictly before the timed region or after all worker domains join"]
+
 type structure =
   | Linked_list
   | Skip_list

@@ -101,7 +101,14 @@ module Make (C : CONFIG) : S_EXT = struct
 
   let tvar = Tvar.make
   let peek = Tvar.peek
+  [@@txlint.allow "stm-escape"
+       "re-export of the quiescent escape hatch; callers are linted at \
+        their own sites"]
+
   let unsafe_write = Tvar.unsafe_write
+  [@@txlint.allow "stm-escape"
+       "re-export of the quiescent escape hatch; callers are linted at \
+        their own sites"]
   let tvar_id = Tvar.id
   let in_transaction () = Option.is_some (Domain.DLS.get current)
 
@@ -422,7 +429,11 @@ module Make (C : CONFIG) : S_EXT = struct
            handler, not in the success branch of a match on [f ctx]. *)
         try
           let result = f ctx in
-          commit_root ctx;
+          (commit_root ctx
+           [@txlint.allow "tx-escape"
+               "the engine's attempt thunk commits here: installing the \
+                write set via unsafe_write under the write locks is the \
+                one sanctioned escape"]);
           if Stats.detailed_enabled () then begin
             (* Committed children have merged their sets into the root, so
                the root's sets are the whole transaction's footprint.  The

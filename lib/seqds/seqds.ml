@@ -286,7 +286,12 @@ end = struct
         let b = K.hash k mod n in
         per_bucket.(b) <- k :: per_bucket.(b))
       keys;
-    Array.iteri (fun i ks -> L.unsafe_preload t.buckets.(i) ks) per_bucket
+    Array.iteri
+      (fun i ks ->
+        (L.unsafe_preload t.buckets.(i) ks
+         [@txlint.allow "stm-escape"
+             "fans a quiescent preload out across the bucket chains"]))
+      per_bucket
 
   module D = Derive (struct
     type nonrec elt = elt

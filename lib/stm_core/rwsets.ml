@@ -1,3 +1,7 @@
+[@@@txlint.allow "obj-magic"
+    "the wset existential (W) erases entry element types; every cast \
+     re-attaches a type witnessed by the entry's own tvar"]
+
 type rentry = {
   r_lock : Vlock.t;
   r_seen : int;
@@ -278,7 +282,15 @@ module Wset = struct
   let try_lock_wentry (W e) ~owner =
     let lock = e.tv.Tvar.lock in
     let attempt () =
-      let s = Vlock.try_lock_save lock ~owner in
+      let s =
+        (Vlock.try_lock_save lock
+           ~owner
+         [@txlint.allow "lock-release"
+             "wentry locks are tracked (e.locked / w_saved); \
+              unlock_all_restore and install_and_unlock release them on \
+              every commit/abort path, and a crash must leave them \
+              orphaned for recovery"])
+      in
       s >= 0
       && begin
            e.w_saved <- s;
@@ -356,7 +368,10 @@ module Wset = struct
              that a detected steal never turns into a silently-reported
              full commit. *)
           if Vlock.stamp e.tv.Tvar.lock = e.w_saved lor 1 then begin
-            Tvar.unsafe_write e.tv e.pending;
+            (Tvar.unsafe_write e.tv e.pending
+           [@txlint.allow "stm-escape"
+               "commit-time install: the write lock is held and the \
+                version stamp advances right after"]);
             if
               not
                 (Vlock.unlock_to_from e.tv.Tvar.lock ~saved:e.w_saved
@@ -366,7 +381,10 @@ module Wset = struct
           else stolen := true
         end
         else begin
-          Tvar.unsafe_write e.tv e.pending;
+          (Tvar.unsafe_write e.tv e.pending
+           [@txlint.allow "stm-escape"
+               "commit-time install: the write lock is held and the \
+                version stamp advances right after"]);
           Vlock.unlock_to e.tv.Tvar.lock ~version:wv
         end;
         e.locked <- false)

@@ -1,0 +1,251 @@
+(* Repo-wide symbol index for the interprocedural lint (DESIGN.md §5i).
+
+   Every *.ml file is parsed once; each top-level [let]-bound value —
+   including values nested in [module]s and functor bodies — becomes an
+   {!entry} addressable under every suffix of its qualified path
+   ("Vlock.try_lock", "Stm_core.Vlock.try_lock", ...).  The wrapper
+   component comes from the dune library name of the file's directory
+   (dune wraps library modules by default), so both intra-library
+   ("Tvar.peek") and cross-library ("Stm_core.Tvar.peek") spellings hit
+   the same entry.
+
+   Module aliases ([module S = Classic_stm.Tl2]) and functor
+   applications ([module Tl2 = Make (...)]) are recorded so calls through
+   them resolve to the functor body's entries; [open]ed module paths are
+   recorded per file for best-effort [Lident] resolution.  Everything the
+   index cannot resolve is left to the caller's conservative fallbacks
+   (Callgraph.resolve). *)
+
+type entry = {
+  id : int;
+  name : string;  (** last path component *)
+  path : string list;  (** full qualified path, wrapper included *)
+  file : string;
+  loc : Location.t;
+  body : Parsetree.expression;
+  anon : bool;  (** [let () = ...] / [let _ = ...]: scanned, never called *)
+}
+
+type alias = {
+  a_file : string;
+  a_scope : string list;  (** module path where the alias was declared *)
+  a_target : string list;  (** target path, as written at the declaration *)
+}
+
+type t = {
+  entries : entry array;
+  by_key : (string, int list) Hashtbl.t;
+      (** suffix-joined qualified name -> entry ids (later files shadow
+          nothing: all candidates are kept and callers union effects) *)
+  aliases : (string, alias) Hashtbl.t;
+  opens_by_file : (string, string list list) Hashtbl.t;
+  by_file : (string, int list) Hashtbl.t;
+}
+
+let join = String.concat "."
+
+(* [Longident.flatten] is partial (fails on [Lapply]); the lint never
+   needs applicative paths, so they resolve to nothing. *)
+let flatten_lid (lid : Longident.t) =
+  let rec go acc = function
+    | Longident.Lident s -> Some (s :: acc)
+    | Longident.Ldot (l, s) -> go (s :: acc) l
+    | Longident.Lapply _ -> None
+  in
+  go [] lid
+
+(* Suffix keys of ["A";"B";"c"]: ["B.c"; "A.B.c"].  Single-component
+   keys are omitted — bare names are resolved against an explicit scope
+   instead (Callgraph.resolve), which avoids cross-module collisions on
+   common names like [create]. *)
+let suffix_keys path =
+  let rec go = function
+    | [] | [ _ ] -> []
+    | _ :: tl as p -> join p :: go tl
+  in
+  go path
+
+let binding_name (p : Parsetree.pattern) =
+  let rec go (p : Parsetree.pattern) =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some txt
+    | Ppat_constraint (p, _) -> go p
+    | _ -> None
+  in
+  go p
+
+(* --- directory -> wrapper module (dune library name) ----------------- *)
+
+(* Crude s-expression probe: the first [(name x)] after a [(library]
+   marker.  Executable directories (bin, test, examples) yield no
+   wrapper.  Cached per directory. *)
+let wrapper_cache : (string, string option) Hashtbl.t = Hashtbl.create 16
+
+let dune_wrapper_of_dir dir =
+  match Hashtbl.find_opt wrapper_cache dir with
+  | Some w -> w
+  | None ->
+    let w =
+      let dune = Filename.concat dir "dune" in
+      match In_channel.with_open_bin dune In_channel.input_all with
+      | text ->
+        let find_after pat =
+          let lt = String.length text and lp = String.length pat in
+          let rec at i =
+            if i + lp > lt then None
+            else if String.sub text i lp = pat then Some (i + lp)
+            else at (i + 1)
+          in
+          at 0
+        in
+        (match find_after "(library" with
+        | None -> None
+        | Some i -> (
+          match find_after "(name " with
+          | Some j when j > i ->
+            let k = ref j in
+            let lt = String.length text in
+            while
+              !k < lt && text.[!k] <> ')' && text.[!k] <> ' '
+              && text.[!k] <> '\n'
+            do
+              incr k
+            done;
+            if !k > j then Some (String.capitalize_ascii (String.sub text j (!k - j)))
+            else None
+          | _ -> None))
+      | exception Sys_error _ -> None
+    in
+    Hashtbl.replace wrapper_cache dir w;
+    w
+
+let default_wrapper_of file = dune_wrapper_of_dir (Filename.dirname file)
+
+let module_name_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+let file_module_path ?(wrapper_of = default_wrapper_of) file =
+  let m = module_name_of_file file in
+  match wrapper_of file with
+  | Some w when w <> m -> [ w; m ]
+  | _ -> [ m ]
+
+(* --- building --------------------------------------------------------- *)
+
+let build ?wrapper_of (parsed : (string * Parsetree.structure) list) : t =
+  let entries = ref [] and n = ref 0 in
+  let by_key = Hashtbl.create 512 in
+  let aliases = Hashtbl.create 32 in
+  let opens_by_file = Hashtbl.create 32 in
+  let by_file = Hashtbl.create 32 in
+  let add_key k id =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt by_key k) in
+    Hashtbl.replace by_key k (id :: prev)
+  in
+  let add_entry ~file ~path ~name ~loc ~body ~anon =
+    let id = !n in
+    incr n;
+    let e = { id; name; path = path @ [ name ]; file; loc; body; anon } in
+    entries := e :: !entries;
+    if not anon then List.iter (fun k -> add_key k id) (suffix_keys e.path);
+    let prev = Option.value ~default:[] (Hashtbl.find_opt by_file file) in
+    Hashtbl.replace by_file file (id :: prev)
+  in
+  let add_open file path =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt opens_by_file file) in
+    Hashtbl.replace opens_by_file file (path :: prev)
+  in
+  let add_alias ~file ~scope ~name ~target =
+    List.iter
+      (fun k ->
+        Hashtbl.replace aliases k
+          { a_file = file; a_scope = scope; a_target = target })
+      (suffix_keys (scope @ [ name ]) @ [ name ])
+  in
+  (* Head module path of a module expression: through functor
+     applications ([Make (...)] -> Make), constraints and functors. *)
+  let rec module_head (m : Parsetree.module_expr) =
+    match m.pmod_desc with
+    | Pmod_ident { txt; _ } -> flatten_lid txt
+    | Pmod_apply (f, _) -> module_head f
+    | Pmod_constraint (m, _) -> module_head m
+    | _ -> None
+  in
+  let rec walk_module ~file ~scope (m : Parsetree.module_expr) ~name =
+    match m.pmod_desc with
+    | Pmod_structure str -> walk_structure ~file ~scope:(scope @ [ name ]) str
+    | Pmod_functor (_, body) ->
+      (* Functor bodies are indexed under the functor's own name; the
+         parameter stays abstract and its uses resolve conservatively. *)
+      walk_module ~file ~scope body ~name
+    | Pmod_constraint (m, _) -> walk_module ~file ~scope m ~name
+    | Pmod_ident _ | Pmod_apply _ -> (
+      match module_head m with
+      | Some target -> add_alias ~file ~scope ~name ~target
+      | None -> ())
+    | _ -> ()
+  and walk_structure ~file ~scope (str : Parsetree.structure) =
+    List.iter
+      (fun (item : Parsetree.structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Parsetree.value_binding) ->
+              match binding_name vb.pvb_pat with
+              | Some name ->
+                add_entry ~file ~path:scope ~name ~loc:vb.pvb_loc
+                  ~body:vb.pvb_expr ~anon:false
+              | None ->
+                (* [let () = ...], [let _ = ...], destructuring lets:
+                   not addressable, but their bodies must still be
+                   scanned by every check. *)
+                add_entry ~file ~path:scope ~name:"_" ~loc:vb.pvb_loc
+                  ~body:vb.pvb_expr ~anon:true)
+            vbs
+        | Pstr_eval (e, _) ->
+          add_entry ~file ~path:scope ~name:"_" ~loc:item.pstr_loc ~body:e
+            ~anon:true
+        | Pstr_module mb -> (
+          match mb.pmb_name.txt with
+          | Some name -> walk_module ~file ~scope mb.pmb_expr ~name
+          | None -> ())
+        | Pstr_recmodule mbs ->
+          List.iter
+            (fun (mb : Parsetree.module_binding) ->
+              match mb.pmb_name.txt with
+              | Some name -> walk_module ~file ~scope mb.pmb_expr ~name
+              | None -> ())
+            mbs
+        | Pstr_open { popen_expr; _ } -> (
+          match module_head popen_expr with
+          | Some path -> add_open file path
+          | None -> ())
+        | Pstr_include { pincl_mod; _ } -> (
+          (* [include M]: M's members appear unqualified here — treat as
+             an open for resolution purposes (best effort). *)
+          match module_head pincl_mod with
+          | Some path -> add_open file path
+          | None -> ())
+        | _ -> ())
+      str
+  in
+  List.iter
+    (fun (file, str) ->
+      let scope = file_module_path ?wrapper_of file in
+      (* A file module is addressable both with and without the library
+         wrapper; indexing under the full path plus suffix keys covers
+         both spellings. *)
+      walk_structure ~file ~scope str)
+    parsed;
+  let arr = Array.of_list (List.rev !entries) in
+  { entries = arr; by_key; aliases; opens_by_file; by_file }
+
+let find_key t k = Option.value ~default:[] (Hashtbl.find_opt t.by_key k)
+let entry t id = t.entries.(id)
+
+let entries_of_file t file =
+  List.rev_map (entry t)
+    (Option.value ~default:[] (Hashtbl.find_opt t.by_file file))
+
+let opens_of_file t file =
+  Option.value ~default:[] (Hashtbl.find_opt t.opens_by_file file)

@@ -1,13 +1,58 @@
 (* Static lint for STM discipline.  See lint.mli for the check catalogue
-   and DESIGN.md ("Txsan") for the policy behind the whitelists. *)
+   and DESIGN.md §5e/§5i for the policy.
 
-type kind = Catch_all | Obj_magic | Stm_escape | Crash_swallowed
+   v2 is interprocedural: the per-expression checks of v1 are joined by
+   a repo-wide symbol index (Index), a best-effort call graph
+   (Callgraph) and transitive effect summaries (Summary), so a helper
+   that wraps [Tvar.peek] two calls away from an [atomic] body is
+   flagged at the call site inside the transaction.  Suppression is
+   attribute-based — [[@txlint.allow "<kind>" "<reason>"]] on an
+   expression, a [let] binding, a module binding, or the whole file
+   ([[@@@txlint.allow ...]]) — replacing the v1 path-suffix whitelists,
+   which survive one release behind [~legacy_whitelists]. *)
+
+type kind =
+  | Catch_all
+  | Obj_magic
+  | Stm_escape
+  | Crash_swallowed
+  | Tx_escape
+  | Tx_swallow
+  | Lock_release
+  | Bad_allow
+
+let all_kinds =
+  [ Catch_all; Obj_magic; Stm_escape; Crash_swallowed; Tx_escape; Tx_swallow;
+    Lock_release; Bad_allow ]
 
 let kind_name = function
   | Catch_all -> "catch-all"
   | Obj_magic -> "obj-magic"
   | Stm_escape -> "stm-escape"
   | Crash_swallowed -> "crash-swallowed"
+  | Tx_escape -> "tx-escape"
+  | Tx_swallow -> "tx-swallow"
+  | Lock_release -> "lock-release"
+  | Bad_allow -> "bad-allow"
+
+let kind_description = function
+  | Catch_all ->
+    "exception handler that swallows every exception without re-raising"
+  | Obj_magic -> "Obj.magic outside the sanctioned rw-set existential"
+  | Stm_escape ->
+    "non-transactional escape hatch (peek/unsafe_write/unsafe_preload) \
+     at an unannotated site"
+  | Crash_swallowed ->
+    "raise-at-point fault exception caught without re-raise"
+  | Tx_escape ->
+    "escape hatch transitively reachable from a transaction body"
+  | Tx_swallow ->
+    "abort/crash-swallowing helper transitively reachable from a \
+     transaction body"
+  | Lock_release ->
+    "lock acquired without a Fun.protect or try-handler release in the \
+     same function"
+  | Bad_allow -> "malformed [@txlint.allow] suppression"
 
 type finding = {
   file : string;
@@ -40,35 +85,33 @@ let finding_to_json f =
     {|{"file":"%s","line":%d,"col":%d,"kind":"%s","msg":"%s"}|}
     (json_escape f.file) f.line f.col (kind_name f.kind) (json_escape f.msg)
 
-(* Whitelists: path suffixes.  Escape hatches are legitimate in engine
-   internals (commit install under the own lock), in single-domain
-   initialisation helpers and in post-run checkers; Obj.magic only in the
-   read/write-set entries where the existential is hand-rolled. *)
+(* --- legacy path-suffix whitelists (one release, --legacy-whitelists) - *)
+
+(* The v1 policy: whole files sanctioned by path suffix.  Replaced by
+   [@txlint.allow] annotations at the sites themselves; kept so a
+   downstream checkout pinned to the old policy can still lint. *)
 let default_escape_whitelist =
   [
-    "lib/stm_core/tvar.ml" (* the definitions themselves *);
-    "lib/stm_core/rwsets.ml" (* commit install under the own lock *);
-    "lib/stm_core/stm_intf.ml" (* interface docs name them *);
-    "lib/classic_stm/classic_stm.ml" (* Stm_intf.S re-exports *);
-    "lib/oestm/oestm.ml" (* Stm_intf.S re-exports *);
-    "lib/viewstm/viewstm.ml" (* Stm_intf.S re-exports *);
-    "lib/eec/skip_list_set.ml" (* single-domain preload *);
-    "lib/eec/sorted_chain.ml" (* single-domain preload *);
-    "lib/seqds/seqds.ml" (* single-domain bucket preload *);
-    "lib/harness/target.ml" (* benchmark population, pre-measurement *);
-    "lib/harness/chaos.ml" (* post-run invariant checks *);
-    "bin/history_check.ml" (* post-run verification *);
-    "examples/move_rebalance.ml" (* single-domain preload *);
-    "examples/insert_if_absent_race.ml" (* single-domain preload *);
+    "lib/stm_core/tvar.ml";
+    "lib/stm_core/rwsets.ml";
+    "lib/stm_core/stm_intf.ml";
+    "lib/classic_stm/classic_stm.ml";
+    "lib/oestm/oestm.ml";
+    "lib/viewstm/viewstm.ml";
+    "lib/eec/skip_list_set.ml";
+    "lib/eec/sorted_chain.ml";
+    "lib/seqds/seqds.ml";
+    "lib/harness/target.ml";
+    "lib/harness/chaos.ml";
+    "bin/history_check.ml";
+    "examples/move_rebalance.ml";
+    "examples/insert_if_absent_race.ml";
   ]
 
 let default_obj_magic_whitelist = [ "lib/stm_core/rwsets.ml" ]
-
-(* The chaos harness is the crash orchestrator: its killer processes
-   absorb the simulated death they themselves arranged. *)
 let default_crash_whitelist = [ "lib/harness/chaos.ml" ]
 
-let escape_names = [ "peek"; "unsafe_write"; "unsafe_preload" ]
+let escape_names = Summary.escape_names
 
 (* Suffix match on '/'-normalised paths, aligned to a component boundary,
    so "lib/harness/chaos.ml" matches "/root/repo/lib/harness/chaos.ml"
@@ -83,104 +126,145 @@ let path_matches file suffix =
 
 let whitelisted file wl = List.exists (path_matches file) wl
 
-(* --- catch-all handler detection ------------------------------------- *)
+(* --- suppression regions ([@txlint.allow "kind" "reason"]) ----------- *)
 
-(* A pattern that matches every exception: _, a variable, or built from
-   such by alias/or/constraint/open. *)
-let rec pattern_is_catch_all (p : Parsetree.pattern) =
-  match p.ppat_desc with
-  | Ppat_any | Ppat_var _ -> true
-  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p) ->
-    pattern_is_catch_all p
-  | Ppat_or (a, b) -> pattern_is_catch_all a || pattern_is_catch_all b
-  | _ -> false
+type region = {
+  rg_kind : string;
+  rg_from : int * int;  (* (line, col), inclusive *)
+  rg_to : int * int;
+}
 
-(* A pattern that names one of the raise-at-point fault exceptions
-   ([Control.Crashed], [Faults.Injected_failure]), directly or inside
-   alias/or/constraint/open.  Handlers matching these without re-raising
-   defeat the crash simulation: engines rely on the exception unwinding
-   all the way out so orphaned locks stay orphaned. *)
-let crash_exn_names = [ "Crashed"; "Injected_failure" ]
+let pos_of (p : Lexing.position) = (p.pos_lnum, p.pos_cnum - p.pos_bol)
 
-let rec pattern_mentions_crash (p : Parsetree.pattern) =
-  match p.ppat_desc with
-  | Ppat_construct ({ txt; _ }, _) -> (
-    match txt with
-    | Lident n | Ldot (_, n) -> List.mem n crash_exn_names
-    | _ -> false)
-  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p)
-  | Ppat_exception p ->
-    pattern_mentions_crash p
-  | Ppat_or (a, b) -> pattern_mentions_crash a || pattern_mentions_crash b
-  | _ -> false
+let region_of_loc kind (loc : Location.t) =
+  { rg_kind = kind; rg_from = pos_of loc.loc_start; rg_to = pos_of loc.loc_end }
 
-(* Does the handler body syntactically re-raise?  We accept the stdlib
-   raisers, [exit], [assert], and any qualified call whose final name is a
-   raiser by convention in this repo ([Control.abort_tx], [Alcotest.fail],
-   a local [fail]/[failf], ...).  This is a conservative syntactic check:
-   cleanup-then-reraise passes, a bare [()] or logging body does not. *)
-let body_reraises (body : Parsetree.expression) =
-  let found = ref false in
-  let is_raiser (lid : Longident.t) =
-    match lid with
-    | Lident
-        ( "raise" | "raise_notrace" | "raise_with_backtrace" | "failwith"
-        | "invalid_arg" | "exit" | "fail" | "failf" ) ->
-      true
-    | Ldot (_, ("raise" | "raise_notrace" | "raise_with_backtrace"))
-    | Ldot (_, ("abort_tx" | "fail" | "failf" | "failwith" | "invalid_arg")) ->
-      true
-    | _ -> false
+let in_region r (line, col) =
+  r.rg_from <= (line, col) && (line, col) <= r.rg_to
+
+(* Payload forms accepted: two juxtaposed string constants
+   ([@txlint.allow "stm-escape" "reason"]) or a two-string tuple.  A
+   lone kind is rejected: every suppression must carry a reason. *)
+let parse_allow_payload (p : Parsetree.payload) =
+  let const_string (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+    | _ -> None
+  in
+  match p with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+    match e.pexp_desc with
+    | Pexp_apply (k, [ (Nolabel, r) ]) -> (
+      match (const_string k, const_string r) with
+      | Some k, Some r -> Ok (k, r)
+      | _ -> Error "expected [@txlint.allow \"<kind>\" \"<reason>\"]")
+    | Pexp_tuple [ k; r ] -> (
+      match (const_string k, const_string r) with
+      | Some k, Some r -> Ok (k, r)
+      | _ -> Error "expected [@txlint.allow \"<kind>\" \"<reason>\"]")
+    | Pexp_constant (Pconst_string _) ->
+      Error "suppression must carry a reason string"
+    | _ -> Error "expected [@txlint.allow \"<kind>\" \"<reason>\"]")
+  | _ -> Error "expected [@txlint.allow \"<kind>\" \"<reason>\"]"
+
+let suppressible_kind_names =
+  List.filter_map
+    (fun k -> if k = Bad_allow then None else Some (kind_name k))
+    all_kinds
+
+(* Collect allow regions and malformed-allow findings for one file.  A
+   floating [[@@@txlint.allow ...]] covers everything from its position
+   to the end of the file; attribute placements on expressions, value
+   bindings and module bindings cover exactly that range. *)
+let collect_allows ~file (str : Parsetree.structure) =
+  let regions = ref [] and bad = ref [] in
+  let add_bad (loc : Location.t) msg =
+    let line, col = pos_of loc.loc_start in
+    bad := { file; line; col; kind = Bad_allow; msg } :: !bad
+  in
+  let consider ~floating (a : Parsetree.attribute) range =
+    if a.attr_name.txt = "txlint.allow" then
+      match parse_allow_payload a.attr_payload with
+      | Error msg -> add_bad a.attr_loc ("malformed txlint.allow: " ^ msg)
+      | Ok (kind, reason) ->
+        if not (List.mem kind suppressible_kind_names) then
+          add_bad a.attr_loc
+            (Printf.sprintf "malformed txlint.allow: unknown kind %S" kind)
+        else if String.trim reason = "" then
+          add_bad a.attr_loc
+            "malformed txlint.allow: the reason string is empty"
+        else
+          let rg =
+            if floating then
+              { rg_kind = kind;
+                rg_from = pos_of a.attr_loc.Location.loc_start;
+                rg_to = (max_int, max_int) }
+            else region_of_loc kind range
+          in
+          regions := rg :: !regions
   in
   let iter =
     {
       Ast_iterator.default_iterator with
+      structure_item =
+        (fun self it ->
+          (match it.pstr_desc with
+          | Pstr_attribute a -> consider ~floating:true a it.pstr_loc
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item self it);
       expr =
         (fun self e ->
-          (match e.pexp_desc with
-          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
-            when is_raiser txt ->
-            found := true
-          | Pexp_assert _ -> found := true
-          | _ -> ());
+          List.iter
+            (fun a -> consider ~floating:false a e.pexp_loc)
+            e.pexp_attributes;
           Ast_iterator.default_iterator.expr self e);
+      value_binding =
+        (fun self vb ->
+          List.iter
+            (fun a -> consider ~floating:false a vb.pvb_loc)
+            vb.pvb_attributes;
+          Ast_iterator.default_iterator.value_binding self vb);
+      module_binding =
+        (fun self mb ->
+          List.iter
+            (fun a -> consider ~floating:false a mb.pmb_loc)
+            mb.pmb_attributes;
+          Ast_iterator.default_iterator.module_binding self mb);
     }
   in
-  iter.expr iter body;
-  !found
+  iter.structure iter str;
+  (!regions, !bad)
 
-(* --- the linter ------------------------------------------------------ *)
+(* --- per-site checks (v1) -------------------------------------------- *)
 
-let lint_structure ~file ~escape_whitelist ~obj_magic_whitelist
-    ~crash_whitelist str =
+let check_sites ~file (body : Parsetree.expression) =
   let findings = ref [] in
   let add (loc : Location.t) kind msg =
-    let p = loc.loc_start in
-    findings :=
-      { file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; kind; msg }
-      :: !findings
+    let line, col = pos_of loc.loc_start in
+    findings := { file; line; col; kind; msg } :: !findings
   in
   let check_case ~what (c : Parsetree.case) =
     let catch_all_pat =
       match c.pc_lhs.ppat_desc with
-      (* [match ... with exception p -> ...] *)
-      | Ppat_exception p when what = `Match -> pattern_is_catch_all p
-      | _ -> what = `Try && pattern_is_catch_all c.pc_lhs
+      | Ppat_exception p when what = `Match -> Callgraph.pattern_is_catch_all p
+      | _ -> what = `Try && Callgraph.pattern_is_catch_all c.pc_lhs
     in
-    if catch_all_pat && c.pc_guard = None && not (body_reraises c.pc_rhs)
+    if
+      catch_all_pat && c.pc_guard = None
+      && not (Callgraph.body_reraises c.pc_rhs)
     then
       add c.pc_lhs.ppat_loc Catch_all
         "catch-all exception handler without re-raise swallows \
          Control.Abort_tx; match specific exceptions or re-raise";
     let crash_pat =
       match c.pc_lhs.ppat_desc with
-      | Ppat_exception p when what = `Match -> pattern_mentions_crash p
-      | _ -> what = `Try && pattern_mentions_crash c.pc_lhs
+      | Ppat_exception p when what = `Match ->
+        Callgraph.pattern_mentions_crash p
+      | _ -> what = `Try && Callgraph.pattern_mentions_crash c.pc_lhs
     in
     if
       crash_pat && c.pc_guard = None
-      && not (body_reraises c.pc_rhs)
-      && not (whitelisted file crash_whitelist)
+      && not (Callgraph.body_reraises c.pc_rhs)
     then
       add c.pc_lhs.ppat_loc Crash_swallowed
         "handler swallows a raise-at-point fault (Control.Crashed / \
@@ -193,40 +277,221 @@ let lint_structure ~file ~escape_whitelist ~obj_magic_whitelist
       expr =
         (fun self e ->
           (match e.pexp_desc with
-          | Pexp_try (_, cases) ->
-            List.iter (check_case ~what:`Try) cases
-          | Pexp_match (_, cases) ->
-            List.iter (check_case ~what:`Match) cases
-          | Pexp_ident { txt = Ldot (Lident "Obj", "magic"); loc }
-            when not (whitelisted file obj_magic_whitelist) ->
+          | Pexp_try (_, cases) -> List.iter (check_case ~what:`Try) cases
+          | Pexp_match (_, cases) -> List.iter (check_case ~what:`Match) cases
+          | Pexp_ident { txt = Ldot (Lident "Obj", "magic"); loc } ->
             add loc Obj_magic
-              "Obj.magic outside lib/stm_core/rwsets.ml; the rw-set \
-               existential is the only sanctioned use"
+              "Obj.magic outside the rw-set existential; annotate the \
+               sanctioned site with [@txlint.allow \"obj-magic\" \"...\"]"
           | Pexp_ident { txt = Ldot (_, name); loc }
-            when List.mem name escape_names
-                 && not (whitelisted file escape_whitelist) ->
+            when List.mem name escape_names ->
             add loc Stm_escape
               (Printf.sprintf
-                 "escape hatch %s used outside the whitelist; reads and \
-                  writes must go through a transaction"
+                 "escape hatch %s at an unannotated site; reads and \
+                  writes must go through a transaction (or annotate \
+                  with [@txlint.allow \"stm-escape\" \"<why>\"])"
                  name)
           | _ -> ());
           Ast_iterator.default_iterator.expr self e);
     }
   in
-  iter.structure iter str;
+  iter.expr iter body;
   List.rev !findings
 
-let lint_string ?(escape_whitelist = default_escape_whitelist)
-    ?(obj_magic_whitelist = default_obj_magic_whitelist)
-    ?(crash_whitelist = default_crash_whitelist) ~filename source =
+(* --- interprocedural checks ------------------------------------------ *)
+
+type interp = { idx : Index.t; sums : Summary.t }
+
+(* A transaction entry point: any [atomic] application (every engine and
+   the Stm_intf.S signature use the name) or a [Retry_loop.run] thunk. *)
+let is_tx_entry path =
+  let final = List.nth path (List.length path - 1) in
+  final = "atomic" || Summary.last2 path = [ "Retry_loop"; "run" ]
+
+let last_nolabel_arg (args : (Asttypes.arg_label * Parsetree.expression) list)
+    =
+  List.fold_left
+    (fun acc (lbl, e) ->
+      match lbl with Asttypes.Nolabel -> Some e | _ -> acc)
+    None args
+
+(* Scan a transaction body for reachability violations: any mention that
+   is, or transitively reaches, an escape hatch or an abort/crash
+   swallowing handler.  Direct qualified escapes are also flagged here
+   (distance 0): an annotated [peek] is sanctioned *outside*
+   transactions only. *)
+let scan_tx_body interp ~file ~scope (body : Parsetree.expression) =
+  let findings = ref [] in
+  let add (loc : Location.t) kind msg =
+    let line, col = pos_of loc.loc_start in
+    findings := { file; line; col; kind; msg } :: !findings
+  in
+  List.iter
+    (fun (m : Callgraph.mention) ->
+      let final = List.nth m.m_path (List.length m.m_path - 1) in
+      let shown = Index.join m.m_path in
+      if List.mem final escape_names && List.length m.m_path >= 2 then
+        add m.m_loc Tx_escape
+          (Printf.sprintf
+             "escape hatch %s used inside a transaction body; \
+              non-transactional reads/writes break opacity even when the \
+              site is sanctioned for non-transactional use"
+             shown)
+      else if not (is_tx_entry m.m_path) then begin
+        let targets =
+          Callgraph.resolve interp.idx ~file ~scope m.m_path
+        in
+        let rec first_effect = function
+          | [] -> ()
+          | (g : Index.entry) :: rest ->
+            let eff = Summary.get interp.sums g in
+            let display = Index.join g.path in
+            (match eff.Summary.escapes with
+            | Some chain ->
+              add m.m_loc Tx_escape
+                (Printf.sprintf
+                   "transaction body reaches an escape hatch: %s"
+                   (Summary.chain_to_string display chain))
+            | None -> ());
+            (match eff.Summary.swallows_abort with
+            | Some chain ->
+              add m.m_loc Tx_swallow
+                (Printf.sprintf
+                   "transaction body reaches a catch-all handler that \
+                    swallows Control.Abort_tx: %s"
+                   (Summary.chain_to_string display chain))
+            | None -> ());
+            (match eff.Summary.swallows_crash with
+            | Some chain ->
+              add m.m_loc Tx_swallow
+                (Printf.sprintf
+                   "transaction body reaches a handler that swallows a \
+                    raise-at-point fault: %s"
+                   (Summary.chain_to_string display chain))
+            | None -> ());
+            if
+              eff.Summary.escapes = None
+              && eff.Summary.swallows_abort = None
+              && eff.Summary.swallows_crash = None
+            then first_effect rest
+        in
+        first_effect targets
+      end)
+    (Callgraph.mentions body);
+  List.rev !findings
+
+(* Find transaction entry applications in an entry body and scan their
+   thunk arguments. *)
+let check_tx_entries interp ~file ~scope (body : Parsetree.expression) =
+  let findings = ref [] in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+            match Index.flatten_lid txt with
+            | Some path when is_tx_entry path -> (
+              match last_nolabel_arg args with
+              | Some tx_body ->
+                findings :=
+                  List.rev_append
+                    (List.rev (scan_tx_body interp ~file ~scope tx_body))
+                    !findings
+              | None -> ())
+            | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.expr iter body;
+  List.rev !findings
+
+(* Lock-release safety (the static twin of the exception-safe-engine
+   work, DESIGN.md §5h): a function that *directly* calls a lock-acquire
+   primitive must contain a [Fun.protect] or a [try] whose handler
+   mentions a release/undo/forget, or carry an annotation.  Transitive
+   acquirers (callers of combinators) are exempt — their releases live
+   with the acquire, which is what this check pins down; the soundness
+   caveats are documented in DESIGN.md §5i. *)
+let release_hints =
+  [ "unlock"; "release"; "forget"; "undo"; "rollback"; "exit"; "restore";
+    "clear" ]
+
+let mentions_release (e : Parsetree.expression) =
+  List.exists
+    (fun (m : Callgraph.mention) ->
+      let final = List.nth m.m_path (List.length m.m_path - 1) in
+      List.exists
+        (fun hint ->
+          let lf = String.length final and lh = String.length hint in
+          let rec at i =
+            i + lh <= lf
+            && (String.sub final i lh = hint || at (i + 1))
+          in
+          at 0)
+        release_hints)
+    (Callgraph.mentions e)
+
+let check_lock_release ~file (body : Parsetree.expression) =
+  let acquire_locs =
+    List.filter_map
+      (fun (m : Callgraph.mention) ->
+        if Summary.is_acquire_path m.m_path then
+          Some (m.m_loc, Index.join m.m_path)
+        else None)
+      (Callgraph.mentions body)
+  in
+  if acquire_locs = [] then []
+  else begin
+    let has_protect =
+      List.exists
+        (fun (m : Callgraph.mention) ->
+          Summary.last2 m.m_path = [ "Fun"; "protect" ])
+        (Callgraph.mentions body)
+    in
+    let has_try_release = ref false in
+    let iter =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_try (_, cases) ->
+              if
+                List.exists
+                  (fun (c : Parsetree.case) -> mentions_release c.pc_rhs)
+                  cases
+              then has_try_release := true
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    iter.expr iter body;
+    if has_protect || !has_try_release then []
+    else
+      List.map
+        (fun (loc, shown) ->
+          let line, col = pos_of loc.Location.loc_start in
+          { file; line; col; kind = Lock_release;
+            msg =
+              Printf.sprintf
+                "%s acquired without a Fun.protect or try-handler \
+                 release in this function; pair every acquire with a \
+                 release/undo/forget on all exception paths (or annotate \
+                 with [@txlint.allow \"lock-release\" \"<why>\"])"
+                shown })
+        acquire_locs
+  end
+
+(* --- orchestration --------------------------------------------------- *)
+
+let parse_source ~filename source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf filename;
   match Parse.implementation lexbuf with
-  | str ->
-    Ok
-      (lint_structure ~file:filename ~escape_whitelist ~obj_magic_whitelist
-         ~crash_whitelist str)
+  | str -> Ok str
   | exception e -> (
     (* Only exceptions the compiler knows how to report are parse errors;
        anything else (Out_of_memory, a bug in this linter) propagates. *)
@@ -238,21 +503,100 @@ let lint_string ?(escape_whitelist = default_escape_whitelist)
     | Some `Already_displayed -> Error (filename ^ ": parse error")
     | None -> raise e)
 
-let lint_file ?escape_whitelist ?obj_magic_whitelist ?crash_whitelist file =
+let legacy_suppressed f =
+  match f.kind with
+  | Stm_escape | Tx_escape -> whitelisted f.file default_escape_whitelist
+  | Obj_magic -> whitelisted f.file default_obj_magic_whitelist
+  | Crash_swallowed -> whitelisted f.file default_crash_whitelist
+  | _ -> false
+
+let compare_findings a b =
+  compare
+    (a.file, a.line, a.col, kind_name a.kind, a.msg)
+    (b.file, b.line, b.col, kind_name b.kind, b.msg)
+
+let analyze ?(legacy_whitelists = false) ?wrapper_of
+    (sources : (string * string) list) : finding list * string list =
+  (* Reverse-accumulate, reverse once: linear in the number of files and
+     findings (the v1 fold appended per file, going quadratic on large
+     trees). *)
+  let parsed = ref [] and errors = ref [] in
+  List.iter
+    (fun (filename, text) ->
+      match parse_source ~filename text with
+      | Ok str -> parsed := (filename, str) :: !parsed
+      | Error msg -> errors := msg :: !errors)
+    sources;
+  let parsed = List.rev !parsed in
+  let idx = Index.build ?wrapper_of parsed in
+  let sums = Summary.compute idx in
+  let interp = { idx; sums } in
+  let findings = ref [] in
+  let push fs = findings := List.rev_append fs !findings in
+  List.iter
+    (fun (file, str) ->
+      let regions, bad = collect_allows ~file str in
+      let raw = ref [] in
+      List.iter
+        (fun (e : Index.entry) ->
+          let scope = Summary.scope_of e in
+          raw := List.rev_append (check_sites ~file e.body) !raw;
+          raw :=
+            List.rev_append (check_tx_entries interp ~file ~scope e.body) !raw;
+          raw := List.rev_append (check_lock_release ~file e.body) !raw)
+        (Index.entries_of_file idx file);
+      let kept =
+        List.filter
+          (fun f ->
+            f.kind = Bad_allow
+            || not
+                 (List.exists
+                    (fun r ->
+                      r.rg_kind = kind_name f.kind
+                      && in_region r (f.line, f.col))
+                    regions
+                 || (legacy_whitelists && legacy_suppressed f)))
+          !raw
+      in
+      push bad;
+      push kept)
+    parsed;
+  (List.sort_uniq compare_findings !findings, List.rev !errors)
+
+let lint_string ?legacy_whitelists ~filename source =
+  match parse_source ~filename source with
+  | Error msg -> Error msg
+  | Ok _ ->
+    let findings, _errors =
+      analyze ?legacy_whitelists [ (filename, source) ]
+    in
+    Ok findings
+
+let read_file file =
   match In_channel.with_open_bin file In_channel.input_all with
-  | source -> lint_string ?escape_whitelist ?obj_magic_whitelist
-                ?crash_whitelist ~filename:file source
+  | source -> Ok source
   | exception Sys_error msg -> Error msg
 
-let lint_files ?escape_whitelist ?obj_magic_whitelist ?crash_whitelist files =
-  List.fold_left
-    (fun (findings, errors) file ->
-      match
-        lint_file ?escape_whitelist ?obj_magic_whitelist ?crash_whitelist file
-      with
-      | Ok fs -> (findings @ fs, errors)
-      | Error msg -> (findings, errors @ [ msg ]))
-    ([], []) files
+let lint_file ?legacy_whitelists file =
+  match read_file file with
+  | Error msg -> Error msg
+  | Ok source -> lint_string ?legacy_whitelists ~filename:file source
+
+(* Whole-set analysis: one parse per file, one shared call graph.  The
+   result covers cross-file reachability that [lint_file] alone cannot
+   see. *)
+let lint_files ?legacy_whitelists files =
+  let sources = ref [] and errors = ref [] in
+  List.iter
+    (fun file ->
+      match read_file file with
+      | Ok src -> sources := (file, src) :: !sources
+      | Error msg -> errors := msg :: !errors)
+    files;
+  let findings, parse_errors =
+    analyze ?legacy_whitelists (List.rev !sources)
+  in
+  (findings, List.rev_append !errors parse_errors)
 
 let ml_files_under roots =
   let acc = ref [] in
@@ -261,7 +605,7 @@ let ml_files_under roots =
     | true ->
       let base = Filename.basename path in
       if
-        base <> "_build" && base <> "_opam"
+        base <> "_build" && base <> "_opam" && base <> "fixtures"
         && not (String.length base > 1 && base.[0] = '.')
       then
         Array.iter
@@ -275,3 +619,37 @@ let ml_files_under roots =
     (fun root -> if Sys.file_exists root then walk root)
     roots;
   List.sort compare !acc
+
+(* --- baselines ------------------------------------------------------- *)
+
+(* Baselines identify findings by kind, file and message — not line or
+   column, so unrelated edits above a baselined finding do not make it
+   "new".  The file format is one finding per line, tab-separated;
+   blank lines and [#] comments are skipped. *)
+let finding_key f =
+  Printf.sprintf "%s\t%s\t%s" (kind_name f.kind) f.file f.msg
+
+let parse_baseline text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some line)
+
+(* Findings not covered by the baseline (multiset semantics: two
+   identical findings need two baseline lines). *)
+let subtract_baseline ~baseline findings =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun k ->
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    baseline;
+  List.filter
+    (fun f ->
+      let k = finding_key f in
+      match Hashtbl.find_opt counts k with
+      | Some n when n > 0 ->
+        Hashtbl.replace counts k (n - 1);
+        false
+      | _ -> true)
+    findings

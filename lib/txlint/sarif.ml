@@ -1,0 +1,49 @@
+(* SARIF 2.1.0 emission for txlint findings — dependency-free, in the
+   spirit of Harness.Report's hand-rolled JSON.  Only the minimum-schema
+   subset GitHub code scanning consumes: tool.driver with a rule per
+   check kind, one result per finding with ruleId, message and a
+   physical location (1-based line/column). *)
+
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+let version = "2.1.0"
+
+let escape = Lint.json_escape
+
+let rule_json kind =
+  Printf.sprintf
+    {|{"id":"%s","shortDescription":{"text":"%s"}}|}
+    (Lint.kind_name kind)
+    (escape (Lint.kind_description kind))
+
+let result_json (f : Lint.finding) =
+  (* SARIF columns are 1-based; finding columns are 0-based (compiler
+     convention). *)
+  Printf.sprintf
+    {|{"ruleId":"%s","level":"error","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+    (Lint.kind_name f.Lint.kind)
+    (escape f.Lint.msg)
+    (escape f.Lint.file)
+    f.Lint.line (f.Lint.col + 1)
+
+let to_string (findings : Lint.finding list) =
+  let rules = String.concat "," (List.map rule_json Lint.all_kinds) in
+  let results = String.concat ",\n      " (List.map result_json findings) in
+  Printf.sprintf
+    {|{
+  "$schema": "%s",
+  "version": "%s",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "txlint",
+          "version": "2.0.0",
+          "rules": [%s]
+        }
+      },
+      "results": [%s]
+    }
+  ]
+}
+|}
+    schema_uri version rules results

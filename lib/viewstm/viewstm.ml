@@ -71,7 +71,14 @@ end) : S = struct
 
   let tvar = Tvar.make
   let peek = Tvar.peek
+  [@@txlint.allow "stm-escape"
+       "re-export of the quiescent escape hatch; callers are linted at \
+        their own sites"]
+
   let unsafe_write = Tvar.unsafe_write
+  [@@txlint.allow "stm-escape"
+       "re-export of the quiescent escape hatch; callers are linted at \
+        their own sites"]
   let tvar_id = Tvar.id
   let in_transaction () = Option.is_some (Domain.DLS.get current)
 
@@ -257,7 +264,11 @@ end) : S = struct
         Txrec.begin_tx root.rec_state ~tx:root_tx;
         try
           let result = f ctx in
-          commit_root ctx;
+          (commit_root ctx
+           [@txlint.allow "tx-escape"
+               "the engine's attempt thunk commits here: installing the \
+                write set via unsafe_write under the write locks is the \
+                one sanctioned escape"]);
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:root_tx;
           if !Runtime.recovery then Registry.clear ();
           Domain.DLS.set current None;

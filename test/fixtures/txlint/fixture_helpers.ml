@@ -1,0 +1,19 @@
+(* txlint fixture — deliberately wraps the escape hatches.  Never
+   compiled (fixtures/ is skipped by the file walk); read from the
+   source tree and parsed by test_txlint.
+
+   Each site carries a [@txlint.allow] annotation, so single-file (v1)
+   linting of this module is clean.  The interprocedural summaries
+   still record the escape — annotations sanction the *site*, not
+   reachability — so any transaction body that reaches these helpers
+   must be flagged by the v2 pass. *)
+
+let read_raw tv =
+  (Tvar.peek tv
+   [@txlint.allow "stm-escape" "fixture: quiescent read helper"])
+
+let snapshot tv = read_raw tv
+
+let preload tv v =
+  (Tvar.unsafe_write tv v
+   [@txlint.allow "stm-escape" "fixture: quiescent preload helper"])

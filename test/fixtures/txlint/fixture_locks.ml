@@ -1,0 +1,10 @@
+(* txlint fixture — the lock-release pair.  [leaky] acquires a vlock
+   with no release on the exception path: v1 had no lock check of any
+   kind, so it is provably v1-clean; v2 flags it.  [guarded] is the
+   Fun.protect twin and must stay clean.  Never compiled. *)
+
+let leaky lock ~owner = if Vlock.try_lock lock ~owner then critical lock
+
+let guarded lock ~owner =
+  if Vlock.try_lock lock ~owner then
+    Fun.protect ~finally:(fun () -> Vlock.unlock lock) (fun () -> critical lock)

@@ -1,0 +1,18 @@
+(* txlint fixture — transaction bodies reaching the annotated escape
+   wrappers of fixture_helpers.ml.  No escape-hatch name appears in
+   this file at all, so single-file (v1) linting is provably clean
+   here; only the interprocedural pass, analyzing the pair together,
+   can flag these bodies. *)
+
+let direct_wrap tv = atomic (fun _ctx -> Fixture_helpers.preload tv 1)
+
+(* Two calls deep: snapshot -> read_raw -> Tvar.peek. *)
+let two_deep tv = atomic (fun _ctx -> Fixture_helpers.snapshot tv)
+
+(* Mutually-recursive pair whose cycle reaches unsafe_write. *)
+let rec ping tv n =
+  if n = 0 then Fixture_helpers.preload tv 0 else pong tv (n - 1)
+
+and pong tv n = ping tv (n - 1)
+
+let mutual tv = atomic (fun _ctx -> pong tv 3)

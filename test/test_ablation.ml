@@ -1,3 +1,7 @@
+[@@@txlint.allow "stm-escape"
+    "tests drive the escape hatches directly: preloads and post-run \
+     state checks are quiescent"]
+
 (* Ablation regression: why the elastic window must span two reads.
 
    A chain unlink reads the predecessor cell, then the successor cell,

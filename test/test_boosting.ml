@@ -1,3 +1,7 @@
+[@@@txlint.allow "lock-release"
+    "tests exercise the lock primitives directly and assert the release \
+     behaviour themselves"]
+
 (* Transactional boosting with outherited abstract locks (Section VIII):
    basic semantics, undo on abort, composition atomicity, deadlock
    recovery, and the same mutual insertIfAbsent invariant the STM tests

@@ -1,3 +1,7 @@
+[@@@txlint.allow "stm-escape"
+    "tests drive the escape hatches directly: preloads and post-run \
+     state checks are quiescent"]
+
 (* The pluggable global clock (DESIGN.md §5f): GV1, TL2-style GV4
    pass-on-failure, and GV5 increment-on-abort must be interchangeable
    without changing any observable STM semantics.

@@ -1,3 +1,7 @@
+[@@@txlint.allow "stm-escape"
+    "tests drive the escape hatches directly: preloads and post-run \
+     state checks are quiescent"]
+
 (* The heart of the reproduction: composing elastic transactions.
 
    Scenario (the paper's Fig. 1, made observable): two flags x and y with

@@ -1,3 +1,7 @@
+[@@@txlint.allow "stm-escape"
+    "tests drive the escape hatches directly: preloads and post-run \
+     state checks are quiescent"]
+
 (* The DPOR explorer's contract: identical verdicts to the naive
    enumerator on every scenario, at a fraction of the runs.
 

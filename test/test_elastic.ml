@@ -1,3 +1,7 @@
+[@@@txlint.allow "stm-escape"
+    "tests drive the escape hatches directly: preloads and post-run \
+     state checks are quiescent"]
+
 (* The elastic relaxation itself (Sections II.A and V):
 
    - an update transaction whose read-only *prefix* is invalidated by a

@@ -1,3 +1,11 @@
+[@@@txlint.allow "stm-escape"
+    "tests drive the escape hatches directly: preloads and post-run \
+     state checks are quiescent"]
+
+[@@@txlint.allow "crash-swallowed"
+    "the test is the crash orchestrator: it injects the fault and \
+     asserts on the aftermath"]
+
 (* Exception safety of the four engines: a user (or injected) exception
    escaping at the worst possible moment — mid-commit, while write locks
    are held — must leave no lock behind, keep the serial token free, and

@@ -1,3 +1,7 @@
+[@@@txlint.allow "stm-escape"
+    "tests drive the escape hatches directly: preloads and post-run \
+     state checks are quiescent"]
+
 (* Exhaustive linearizability checking of the e.e.c sets.
 
    For randomly generated pairs of operations running as two concurrent

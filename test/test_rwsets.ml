@@ -1,3 +1,11 @@
+[@@@txlint.allow "stm-escape"
+    "tests drive the escape hatches directly: preloads and post-run \
+     state checks are quiescent"]
+
+[@@@txlint.allow "lock-release"
+    "tests exercise the lock primitives directly and assert the release \
+     behaviour themselves"]
+
 open Stm_core
 
 let test_wset_find_typed () =

@@ -1,3 +1,7 @@
+[@@@txlint.allow "stm-escape"
+    "tests drive the escape hatches directly: preloads and post-run \
+     state checks are quiescent"]
+
 (* Mechanics of the deterministic scheduler: determinism, replay, process
    isolation of STM state, and bounded exploration. *)
 

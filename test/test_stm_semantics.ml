@@ -1,3 +1,7 @@
+[@@@txlint.allow "stm-escape"
+    "tests drive the escape hatches directly: preloads and post-run \
+     state checks are quiescent"]
+
 (* Semantics battery run against every STM implementation: TL2, LSA,
    SwissTM, OE-STM and the deliberately broken E-STM(drop).  These tests
    exercise properties that every (even relaxed) STM must provide for

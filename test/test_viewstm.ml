@@ -1,3 +1,7 @@
+[@@@txlint.allow "stm-escape"
+    "tests drive the escape hatches directly: preloads and post-run \
+     state checks are quiescent"]
+
 (* View transactions (Section VIII): the critical view is the minimal
    protected set, the programmer chooses it, nested commits outherit it.
 

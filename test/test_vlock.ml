@@ -1,3 +1,7 @@
+[@@@txlint.allow "lock-release"
+    "tests exercise the lock primitives directly and assert the release \
+     behaviour themselves"]
+
 open Stm_core
 
 let test_fresh_unlocked () =
