@@ -222,6 +222,29 @@ let () =
     Stm_core.Recovery.enable ~lease_ns ();
     Printf.printf "## recovery on: lease %dns\n%!" lease_ns
   end;
+  (* [--durability] opens a write-ahead log for the whole run: the sweep
+     then measures the per-commit durability-hook overhead (every
+     committed write set is scanned against the persistent-id registry).
+     The benchmark structures are deliberately not registered, so no
+     records are appended — the gate is on the hook's fixed cost, not on
+     fsync latency (see EXPERIMENTS.md).  [--wal-path] and
+     [--wal-sync-every] configure the log; the JSON report's
+     "durability" object records the configuration and counters. *)
+  if Array.exists (( = ) "--durability") argv then begin
+    let path =
+      Option.value (find_value "--wal-path")
+        ~default:
+          (Filename.concat
+             (Filename.get_temp_dir_name ())
+             (Printf.sprintf "bench-%d.wal" (Unix.getpid ())))
+    in
+    let sync_every =
+      Option.value (int_value "--wal-sync-every") ~default:1
+    in
+    Persist.enable ~sync_every ~path ();
+    Printf.printf "## durability on: wal=%s sync_every=%d\n%!" path
+      sync_every
+  end;
   if detailed then Stm_core.Stats.set_detailed true;
   if not skip_micro then run_micro ();
   if not skip_sweep then begin

@@ -11,9 +11,6 @@
      --write-baseline FILE  write the current findings to FILE (one
                             kind<TAB>file<TAB>message line each) and
                             exit 0
-     --legacy-whitelists    additionally apply the v1 path-suffix
-                            whitelists (one release of grace while
-                            downstream annotates)
 
    Paths default to lib, bin, examples and test; directories are walked
    recursively for *.ml files (fixtures/ subtrees are skipped — they
@@ -26,7 +23,7 @@ let default_roots = [ "lib"; "bin"; "examples"; "test" ]
 let usage () =
   prerr_endline
     "usage: txlint [--json] [--sarif FILE] [--baseline FILE]\n\
-    \              [--write-baseline FILE] [--legacy-whitelists] [PATH ...]";
+    \              [--write-baseline FILE] [PATH ...]";
   exit 2
 
 let read_file file =
@@ -48,7 +45,6 @@ let () =
   let sarif = ref None in
   let baseline = ref None in
   let write_baseline = ref None in
-  let legacy = ref false in
   let paths = ref [] in
   let argv = Sys.argv and n = Array.length Sys.argv in
   let i = ref 1 in
@@ -67,7 +63,6 @@ let () =
     | "--baseline" -> baseline := Some (next_arg "--baseline")
     | "--write-baseline" ->
       write_baseline := Some (next_arg "--write-baseline")
-    | "--legacy-whitelists" -> legacy := true
     | "--help" | "-h" -> usage ()
     | arg when String.length arg > 0 && arg.[0] = '-' ->
       Printf.eprintf "txlint: unknown option %s\n" arg;
@@ -88,9 +83,7 @@ let () =
       (String.concat " " roots);
     exit 2
   end;
-  let findings, errors =
-    Lint.lint_files ~legacy_whitelists:!legacy files
-  in
+  let findings, errors = Lint.lint_files files in
   (match !write_baseline with
   | Some file ->
     let b = Buffer.create 1024 in

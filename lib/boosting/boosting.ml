@@ -70,6 +70,7 @@ type tx = {
   root_id : int;
   mutable locks : Abstract_lock.t list;  (* acquired, for release at root commit *)
   mutable undo : (unit -> unit) list;    (* inverses, newest first *)
+  mutable durable : (int * string) list; (* WAL payloads, newest first *)
   rec_state : Txrec.t option;            (* event recording, when enabled *)
 }
 
@@ -152,6 +153,25 @@ let acquire tx lock =
 (** Record the inverse of an operation about to be applied. *)
 let log_undo tx inverse = tx.undo <- inverse :: tx.undo
 
+(* Boosting has no versioned write set to serialize, so durable state
+   flows through an explicit op log: operations on a persistent boosted
+   structure record (persistent id, payload) pairs, and the root commit
+   stages them as one WAL record.  Replay goes through the function
+   registered with [Persist.register_replayer] for that id.
+
+   The record's commit version must order dependent boosting commits
+   even under GV5 (where commits never advance the clock): a dedicated
+   monotone floor makes every durable boosting wv strictly larger than
+   the previous one. *)
+let log_durable tx ~id payload = tx.durable <- (id, payload) :: tx.durable
+
+let durable_floor = Padding.atomic 0
+
+let rec bump_durable_floor v =
+  let cur = Atomic.get durable_floor in
+  if v > cur && not (Atomic.compare_and_set durable_floor cur v) then
+    bump_durable_floor v
+
 let release_all tx =
   List.iter (fun l -> Abstract_lock.release l ~owner:tx.root_id) tx.locks;
   tx.locks <- []
@@ -178,7 +198,7 @@ let atomic f =
     Retry_loop.run ~stats (fun ~attempt:_ ->
         let tx =
           { root_id = Runtime.fresh_tx_id (); locks = []; undo = [];
-            rec_state = Txrec.create () }
+            durable = []; rec_state = Txrec.create () }
         in
         Domain.DLS.set current (Some tx);
         if !Runtime.recovery then Registry.publish ~owner:tx.root_id;
@@ -194,6 +214,18 @@ let atomic f =
           (* Commit: changes are already applied to the base objects;
              drop the undo log and release the locks. *)
           tx.undo <- [];
+          if !Runtime.durability && tx.durable <> [] then begin
+            (* Mint the WAL record's version while the abstract locks are
+               still held: any dependent boosting commit acquires one of
+               them afterwards and so observes the bumped floor, keeping
+               replay order consistent with real order. *)
+            let wv =
+              Clock.tick ~floor:(fun () -> Atomic.get durable_floor) ()
+            in
+            bump_durable_floor wv;
+            Durable.stage ~wv (List.rev tx.durable);
+            tx.durable <- []
+          end;
           Txrec.commit_tx tx.rec_state ~tx:tx.root_id;
           release_all tx;
           Txrec.release_remaining tx.rec_state;
@@ -210,6 +242,7 @@ let atomic f =
              remain applied (DESIGN.md 5h documents this limitation). *)
           tx.locks <- [];
           tx.undo <- [];
+          tx.durable <- [];
           if !Runtime.recovery then Registry.mark_crashed ();
           if !Runtime.sanitizer then Sanitizer.tx_crashed ~owner:tx.root_id;
           Domain.DLS.set current None;
@@ -217,6 +250,7 @@ let atomic f =
         | e ->
           rollback tx;
           release_all tx;
+          tx.durable <- [];
           Txrec.abort_open tx.rec_state;
           if !Runtime.sanitizer then Sanitizer.tx_end ~owner:tx.root_id;
           if !Runtime.recovery then Registry.clear ();

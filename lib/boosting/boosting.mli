@@ -50,6 +50,16 @@ val acquire : tx -> Abstract_lock.t -> unit
 val log_undo : tx -> (unit -> unit) -> unit
 (** Record the inverse of an operation about to be applied. *)
 
+val log_durable : tx -> id:int -> string -> unit
+(** Record a durable payload for this transaction's write-ahead-log
+    record (boosting has no versioned write set, so durable state flows
+    through an explicit op log).  All payloads logged by the root and its
+    nested children are staged as one record, with a commit version
+    minted while the abstract locks are still held, when — and only when
+    — the root commits under [Persist.enable].  Replay on recovery goes
+    through the function registered with [Persist.register_replayer] for
+    [id], in commit-version order. *)
+
 val atomic : (tx -> 'a) -> 'a
 (** Run a boosted transaction to successful commit.  Nested calls share
     the root transaction's lock table and undo log. *)

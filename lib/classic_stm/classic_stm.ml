@@ -43,7 +43,8 @@ module type POLICY = sig
       [max_int] = never. *)
 end
 
-module Make (P : POLICY) : Stm_intf.S = struct
+module Make (P : POLICY) :
+  Stm_intf.S with type 'a tvar = 'a Tvar.t = struct
   let name = P.name
 
   type 'a tvar = 'a Tvar.t
@@ -190,7 +191,12 @@ module Make (P : POLICY) : Stm_intf.S = struct
           Rwsets.Wset.unlock_all_restore ctx.wset;
           raise e
       end;
-      Rwsets.Wset.install_and_unlock ctx.wset ~wv
+      Rwsets.Wset.install_and_unlock ctx.wset ~wv;
+      (* Post-install: stage the durable entries for the WAL.  Retry_loop
+         fires the record once this attempt's outcome is a definitive
+         commit, and discards it if anything below still aborts. *)
+      if !Runtime.durability then
+        Durable.stage ~wv (Rwsets.Wset.capture_durable ctx.wset)
     end;
     Txrec.commit_tx ctx.rec_state ~tx:ctx.tx_id;
     Txrec.release_remaining ctx.rec_state

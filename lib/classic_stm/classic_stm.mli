@@ -26,18 +26,19 @@ module type POLICY = sig
       [max_int] = never. *)
 end
 
-module Make (P : POLICY) : Stm_core.Stm_intf.S
+module Make (P : POLICY) :
+  Stm_core.Stm_intf.S with type 'a tvar = 'a Stm_core.Tvar.t
 
 (** TL2 (Dice, Shalev, Shavit — DISC'06): commit-time locking, no interval
     extension, timid contention management. *)
-module Tl2 : Stm_core.Stm_intf.S
+module Tl2 : Stm_core.Stm_intf.S with type 'a tvar = 'a Stm_core.Tvar.t
 
 (** LSA (Riegel, Felber, Fetzer — DISC'06): lazy snapshot with interval
     extension and eager lock acquirement. *)
-module Lsa : Stm_core.Stm_intf.S
+module Lsa : Stm_core.Stm_intf.S with type 'a tvar = 'a Stm_core.Tvar.t
 
 (** SwissTM (Dragojević, Felber, Gramoli, Guerraoui — CACM'11): eager
     write/write conflict detection, lazy read validation with extension,
     two-phase contention manager (simplified: priority transactions spin
     for contended locks instead of remotely aborting their enemies). *)
-module Swisstm : Stm_core.Stm_intf.S
+module Swisstm : Stm_core.Stm_intf.S with type 'a tvar = 'a Stm_core.Tvar.t

@@ -33,6 +33,11 @@ open Schedsim
     "the chaos driver injected the crashes; it alone absorbs them to \
      keep exploring schedules"]
 
+[@@@txlint.allow "catch-all"
+    "the crash-restart child worker runs between [fork] and [SIGKILL]: \
+     any exception there must turn into [Unix._exit], never escape into \
+     a duplicated parent stack"]
+
 type engine = OE | TL2 | View | Boost
 
 let all_engines = [ OE; TL2; View; Boost ]
@@ -618,6 +623,222 @@ let run_kill_both ?killers ?survivors ?txns ?lease_ns engine =
   (on, off)
 
 (* ------------------------------------------------------------------ *)
+(* Crash-restart scenario (kill -9 + WAL recovery)                     *)
+
+(** Result of one {!run_restart}: for each seed a forked child worker
+    runs durable transfers against a fresh write-ahead log and is
+    SIGKILLed mid-commit at a seed-derived moment; the parent then
+    recovers the log into fresh ptvars and checks {e conservation} (the
+    transfer invariant holds on the recovered state) and {e prefix
+    durability} (every record the child saw acknowledged as synced is
+    replayed).  With [rr_sync_every <= 0] the WAL never syncs — the
+    negative control — and the run must instead {e demonstrate} loss:
+    at least one seed recovers fewer records than the child committed. *)
+type restart_result = {
+  rr_engine : string;
+  rr_sync_every : int;
+  rr_seeds : int list;
+  rr_failed_seeds : int list;
+      (** conservation broke, the child died on its own, or (sync on) a
+          synced record did not survive recovery *)
+  rr_commits : int;      (** transfers the children reported committed *)
+  rr_acked : int;        (** records synced to disk at kill time *)
+  rr_recovered : int;    (** intact update records replayed *)
+  rr_torn_seeds : int;   (** seeds whose log had a torn tail truncated *)
+  rr_lost_acked_seeds : int list;
+      (** seeds that recovered fewer records than were acked as synced *)
+  rr_lost_commit_seeds : int list;
+      (** seeds that recovered fewer records than the child committed —
+          expected (and required) under the no-sync negative control *)
+}
+
+(** Sync on: nothing acked may be lost.  Sync off: loss must show. *)
+let restart_ok r =
+  r.rr_failed_seeds = [] && r.rr_commits > 0
+  && (if r.rr_sync_every > 0 then r.rr_lost_acked_seeds = []
+      else r.rr_lost_commit_seeds <> [])
+
+module Restart = struct
+  let cells = 4
+  let preload = 100
+  let total = cells * preload
+
+  let fresh_ptvars () =
+    Array.init cells (fun i ->
+        Persist.Ptvar.make ~id:i ~codec:Persist.Codec.int preload)
+
+  (* Drain the child's progress pipe until [deadline], then to EOF after
+     the kill; the last complete 16-byte frame is the child's final
+     report.  A frame torn by the kill is simply ignored. *)
+  let last_frame buf =
+    let s = Buffer.contents buf in
+    let frames = String.length s / 16 in
+    if frames = 0 then (0, 0)
+    else
+      let off = (frames - 1) * 16 in
+      ( Int64.to_int (String.get_int64_le s off),
+        Int64.to_int (String.get_int64_le s (off + 8)) )
+
+  let drain_until rd buf deadline =
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      let left = deadline -. Unix.gettimeofday () in
+      if left > 0.0 then
+        match Unix.select [ rd ] [] [] left with
+        | [], _, _ -> ()
+        | _ -> (
+          match Unix.read rd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()  (* EOF: the child died early; the kill is a no-op *)
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+    in
+    go ()
+
+  let drain_eof rd buf =
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match Unix.read rd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+
+  type seed_outcome = {
+    so_commits : int;
+    so_acked : int;
+    so_recovered : int;
+    so_conserved : bool;
+    so_torn : bool;
+    so_child_ok : bool;  (** the child was killed, not crashed *)
+  }
+
+  module Run (S : Stm_intf.S with type 'a tvar = 'a Tvar.t) = struct
+    (* The child: durable transfers forever, reporting (commits, acked)
+       over the pipe after every commit, until SIGKILL lands.  Runs in a
+       forked process, so it must end in [Unix._exit] on every path. *)
+    let child ~sync_every ~path ~seed wr =
+      (try
+         Persist.reset_for_testing ();
+         let ptvs = fresh_ptvars () in
+         Persist.enable ~sync_every ~path ();
+         let rng = Prng.create ~seed in
+         let frame = Bytes.create 16 in
+         let commits = ref 0 in
+         while true do
+           let a = Prng.int rng cells in
+           let b = (a + 1 + Prng.int rng (cells - 1)) mod cells in
+           S.atomic (fun ctx ->
+               let tva = Persist.Ptvar.tvar ptvs.(a) in
+               let tvb = Persist.Ptvar.tvar ptvs.(b) in
+               S.write ctx tva (S.read ctx tva - 1);
+               S.write ctx tvb (S.read ctx tvb + 1));
+           incr commits;
+           Bytes.set_int64_le frame 0 (Int64.of_int !commits);
+           Bytes.set_int64_le frame 8
+             (Int64.of_int (Persist.acked_records ()));
+           ignore (Unix.write wr frame 0 16)
+         done
+       with _ -> ());
+      Unix._exit 0
+
+    (* One seed: fork, let the child commit for a seed-derived 10..60 ms,
+       SIGKILL it, recover the log in this process, judge the result. *)
+    let run_seed ~sync_every ~path ~seed =
+      (try Sys.remove path with Sys_error _ -> ());
+      let rd, wr = Unix.pipe () in
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | 0 ->
+        Unix.close rd;
+        child ~sync_every ~path ~seed wr
+      | pid ->
+        Unix.close wr;
+        let kill_after_ms = 10 + (Prng.next (Prng.create ~seed) mod 51) in
+        let buf = Buffer.create 4096 in
+        drain_until rd buf
+          (Unix.gettimeofday () +. (float_of_int kill_after_ms /. 1000.0));
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        let _, status = Unix.waitpid [] pid in
+        drain_eof rd buf;
+        Unix.close rd;
+        let commits, acked = last_frame buf in
+        Persist.reset_for_testing ();
+        let ptvs = fresh_ptvars () in
+        let s = Persist.recover ~path () in
+        let sum =
+          Array.fold_left (fun a p -> a + Persist.Ptvar.value p) 0 ptvs
+        in
+        Persist.reset_for_testing ();
+        { so_commits = commits;
+          so_acked = acked;
+          so_recovered = s.Persist.updates_intact;
+          so_conserved = sum = total;
+          so_torn = s.Persist.truncated;
+          so_child_ok =
+            (match status with
+            | Unix.WSIGNALED sg -> sg = Sys.sigkill
+            | _ -> false) }
+  end
+
+  module Oe_run = Run (Oestm.Oe)
+  module Tl2_run = Run (Classic_stm.Tl2)
+  module View_run = Run (Viewstm.V)
+
+  (* Boosting has no tvar write set; its durable path (an explicit op
+     log) is exercised by the persist unit tests instead. *)
+  let run_seed_for = function
+    | OE -> Oe_run.run_seed
+    | TL2 -> Tl2_run.run_seed
+    | View -> View_run.run_seed
+    | Boost ->
+      invalid_arg "Chaos.run_restart: boosting has no tvar write set"
+end
+
+let run_restart ?(seeds = default_seeds) ?(sync_every = 1)
+    ?(wal_path = Filename.concat (Filename.get_temp_dir_name ())
+                   "chaos-restart.wal") engine =
+  if Sys.win32 then invalid_arg "Chaos.run_restart: requires fork(2)";
+  if seeds = [] then invalid_arg "Chaos.run_restart: empty seed list";
+  let run_seed = Restart.run_seed_for engine in
+  let failed = ref [] and lost_acked = ref [] and lost_commits = ref [] in
+  let commits = ref 0 and acked = ref 0 and recovered = ref 0 in
+  let torn = ref 0 in
+  List.iter
+    (fun seed ->
+      let o = run_seed ~sync_every ~path:wal_path ~seed in
+      commits := !commits + o.Restart.so_commits;
+      acked := !acked + o.Restart.so_acked;
+      recovered := !recovered + o.Restart.so_recovered;
+      if o.Restart.so_torn then incr torn;
+      let lost_ack = o.Restart.so_recovered < o.Restart.so_acked in
+      if lost_ack then lost_acked := seed :: !lost_acked;
+      if o.Restart.so_recovered < o.Restart.so_commits then
+        lost_commits := seed :: !lost_commits;
+      if
+        (not o.Restart.so_conserved)
+        || (not o.Restart.so_child_ok)
+        || (sync_every > 0 && lost_ack)
+      then failed := seed :: !failed)
+    seeds;
+  (try Sys.remove wal_path with Sys_error _ -> ());
+  { rr_engine = engine_name engine;
+    rr_sync_every = sync_every;
+    rr_seeds = seeds;
+    rr_failed_seeds = List.rev !failed;
+    rr_commits = !commits;
+    rr_acked = !acked;
+    rr_recovered = !recovered;
+    rr_torn_seeds = !torn;
+    rr_lost_acked_seeds = List.rev !lost_acked;
+    rr_lost_commit_seeds = List.rev !lost_commits }
+
+(* ------------------------------------------------------------------ *)
 (* JSON report                                                         *)
 
 let engine_to_json (r : engine_result) =
@@ -659,6 +880,34 @@ let kill_to_json (r : kill_result) =
       ("lease_expiries", Report.Int r.k_lease_expiries);
       ("poisoned_commits", Report.Int r.k_poisoned_commits);
       ("san_violations", Report.Int r.k_san_violations) ]
+
+let restart_to_json (r : restart_result) =
+  Report.Obj
+    [ ("engine", Report.Str r.rr_engine);
+      ("sync_every", Report.Int r.rr_sync_every);
+      ("seeds", Report.List (List.map (fun s -> Report.Int s) r.rr_seeds));
+      ("ok", Report.Bool (restart_ok r));
+      ( "failed_seeds",
+        Report.List (List.map (fun s -> Report.Int s) r.rr_failed_seeds) );
+      ("commits", Report.Int r.rr_commits);
+      ("acked", Report.Int r.rr_acked);
+      ("recovered", Report.Int r.rr_recovered);
+      ("torn_seeds", Report.Int r.rr_torn_seeds);
+      ( "lost_acked_seeds",
+        Report.List (List.map (fun s -> Report.Int s) r.rr_lost_acked_seeds)
+      );
+      ( "lost_commit_seeds",
+        Report.List
+          (List.map (fun s -> Report.Int s) r.rr_lost_commit_seeds) ) ]
+
+let restart_report_json (results : restart_result list) =
+  Report.Obj
+    [ ("schema_version", Report.Int Report.schema_version);
+      ("kind", Report.Str "chaos-restart");
+      ("sanitizer", Report.sanitizer_to_json ());
+      ("recovery", Report.recovery_to_json ());
+      ("durability", Report.durability_to_json ());
+      ("restarts", Report.List (List.map restart_to_json results)) ]
 
 let kill_report_json (results : kill_result list) =
   Report.Obj

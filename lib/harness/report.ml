@@ -374,7 +374,9 @@ let config_to_json () =
            ("delay", Float c.Stm_core.Faults.delay);
            ("max_delay_spins", Int c.Stm_core.Faults.max_delay_spins);
            ("crash", Float c.Stm_core.Faults.crash);
-           ("user_raise", Float c.Stm_core.Faults.user_raise) ]
+           ("user_raise", Float c.Stm_core.Faults.user_raise);
+           ("fsync_fail", Float c.Stm_core.Faults.fsync_fail);
+           ("short_write", Float c.Stm_core.Faults.short_write) ]
         @ [ ( "injected",
               Obj
                 (List.map
@@ -443,10 +445,31 @@ let recovery_to_json () =
         ("lease_expiries", Int c.Stm_core.Stats.lease_expiries);
         ("poisoned_commits", Int c.Stm_core.Stats.poisoned_commits) ]
 
+(* Durability verdict: [null] when no write-ahead log was open (explicit
+   "not durable", not a zero count), otherwise the WAL configuration and
+   the durable-commit counters.  Additive — the schema version stays 2. *)
+let durability_to_json () =
+  if not !Stm_core.Runtime.durability then Null
+  else
+    let c = Stm_core.Stats.durable_counters () in
+    Obj
+      [ ("enabled", Bool true);
+        ("wal_path", Str (Persist.wal_path ()));
+        ("sync_every", Int (Persist.wal_sync_every ()));
+        ("broken", Bool (Persist.wal_broken ()));
+        ("durable_commits", Int c.Stm_core.Stats.durable_commits);
+        ("wal_appends", Int c.Stm_core.Stats.wal_appends);
+        ("wal_syncs", Int c.Stm_core.Stats.wal_syncs);
+        ("wal_sync_failures", Int c.Stm_core.Stats.wal_sync_failures);
+        ("wal_short_writes", Int c.Stm_core.Stats.wal_short_writes);
+        ("acked_records", Int (Persist.acked_records ()));
+        ("acked_wv", Int (Persist.acked_wv ())) ]
+
 let report (results : Figures.figure_result list) =
   Obj
     [ ("schema_version", Int schema_version);
       ("config", config_to_json ());
       ("sanitizer", sanitizer_to_json ());
       ("recovery", recovery_to_json ());
+      ("durability", durability_to_json ());
       ("figures", List (List.map figure_to_json results)) ]

@@ -58,7 +58,7 @@ module type S_EXT = sig
   val release : ctx -> 'a tvar -> unit
 end
 
-module Make (C : CONFIG) : S_EXT = struct
+module Make (C : CONFIG) : S_EXT with type 'a tvar = 'a Tvar.t = struct
   let name = C.name
 
   type 'a tvar = 'a Tvar.t
@@ -357,7 +357,12 @@ module Make (C : CONFIG) : S_EXT = struct
           Rwsets.Wset.unlock_all_restore ctx.root.wset;
           raise e
       end;
-      Rwsets.Wset.install_and_unlock ctx.root.wset ~wv
+      Rwsets.Wset.install_and_unlock ctx.root.wset ~wv;
+      (* Post-install: stage the durable entries for the WAL.  Retry_loop
+         fires the record once this attempt's outcome is a definitive
+         commit, and discards it if anything below still aborts. *)
+      if !Runtime.durability then
+        Durable.stage ~wv (Rwsets.Wset.capture_durable ctx.root.wset)
     end;
     Txrec.commit_tx ctx.root.rec_state ~tx:ctx.tx_id;
     Txrec.release_remaining ctx.root.rec_state

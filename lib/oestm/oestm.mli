@@ -41,15 +41,15 @@ module type S_EXT = sig
       transaction.  Writes are unaffected. *)
 end
 
-module Make (C : CONFIG) : S_EXT
+module Make (C : CONFIG) : S_EXT with type 'a tvar = 'a Stm_core.Tvar.t
 
 (** The paper's OE-STM: elastic transactions that compose. *)
-module Oe : S_EXT
+module Oe : S_EXT with type 'a tvar = 'a Stm_core.Tvar.t
 
 (** Elastic transactions composed without outheritance — the broken
     composition of Fig. 1, kept as an executable counterexample. *)
-module E_broken : S_EXT
+module E_broken : S_EXT with type 'a tvar = 'a Stm_core.Tvar.t
 
 (** Ablation: a one-read window ("the immediate past read", read
     literally).  Unsafe for chain updates; see [test/test_ablation.ml]. *)
-module Oe_window1 : S_EXT
+module Oe_window1 : S_EXT with type 'a tvar = 'a Stm_core.Tvar.t

@@ -1,0 +1,29 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven and
+   dependency-free, in the spirit of Harness.Report's hand-rolled JSON.
+   All arithmetic stays in OCaml's native int (the values fit in 32 bits,
+   well inside the 63-bit range), masked back to 32 bits where shifts
+   could carry. *)
+
+let poly = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then poly lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask32 = 0xFFFFFFFF
+
+let digest ?(seed = 0) s ~pos ~len =
+  let t = Lazy.force table in
+  let c = ref (seed lxor mask32) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor mask32
+
+let string s = digest s ~pos:0 ~len:(String.length s)

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over strings; the checksum
+    framing every write-ahead-log record. *)
+
+val digest : ?seed:int -> string -> pos:int -> len:int -> int
+(** Checksum of [len] bytes of [s] starting at [pos].  [seed] is a
+    previous digest, for incremental use over concatenated spans:
+    [digest ~seed:(digest a) b = digest (a ^ b)] (with full ranges). *)
+
+val string : string -> int
+(** [digest s ~pos:0 ~len:(String.length s)]. *)

@@ -62,6 +62,16 @@ let on_abort () =
     Atomic.incr clock
   end
 
+(* Post-recovery fence: WAL replay decides "already covered by the last
+   checkpoint" with a version comparison, so versions minted after a
+   restart must stay strictly above every replayed commit version —
+   otherwise a post-recovery commit's record would look older than the
+   state it follows and be skipped (or mis-ordered) by the *next*
+   recovery. *)
+let catch_up v =
+  cas_max clock v;
+  cas_max gv5_high v
+
 let current_policy () = !Runtime.clock_policy
 
 let set_policy p =

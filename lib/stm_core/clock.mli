@@ -47,6 +47,13 @@ val on_abort : unit -> unit
     "version too new" aborts make the observers' next read stamp catch up
     with lazily installed versions.  A no-op under GV1/GV4. *)
 
+val catch_up : int -> unit
+(** Advance the clock to at least [v] (monotone; no-op if already past).
+    Called by WAL recovery with the highest replayed commit version, so
+    versions minted after a restart stay strictly above everything the
+    replay installed — a correctness requirement for the next recovery's
+    "newer than the checkpoint" comparison. *)
+
 val current_policy : unit -> Runtime.clock_policy
 
 val set_policy : Runtime.clock_policy -> unit

@@ -24,17 +24,20 @@ type config = {
   max_delay_spins : int;
   crash : float;            (* simulated domain crash, per scheduling point *)
   user_raise : float;       (* foreign exception, per scheduling point *)
+  fsync_fail : float;       (* per WAL fsync: report failure, skip the sync *)
+  short_write : float;      (* per WAL flush: write a prefix, poison the log *)
 }
 
 let default =
   { seed = 1; spurious_abort = 0.0; lock_fail = 0.0; validation_fail = 0.0;
-    delay = 0.0; max_delay_spins = 64; crash = 0.0; user_raise = 0.0 }
+    delay = 0.0; max_delay_spins = 64; crash = 0.0; user_raise = 0.0;
+    fsync_fail = 0.0; short_write = 0.0 }
 
 let to_string c =
   Printf.sprintf
-    "seed=%d,abort=%g,lock=%g,validate=%g,delay=%g,spins=%d,crash=%g,raise=%g"
+    "seed=%d,abort=%g,lock=%g,validate=%g,delay=%g,spins=%d,crash=%g,raise=%g,fsync=%g,shortw=%g"
     c.seed c.spurious_abort c.lock_fail c.validation_fail c.delay
-    c.max_delay_spins c.crash c.user_raise
+    c.max_delay_spins c.crash c.user_raise c.fsync_fail c.short_write
 
 let parse s =
   let rate k v =
@@ -67,6 +70,8 @@ let parse s =
           | "spins" -> { c with max_delay_spins = int_field k v }
           | "crash" -> { c with crash = rate k v }
           | "raise" -> { c with user_raise = rate k v }
+          | "fsync" -> { c with fsync_fail = rate k v }
+          | "shortw" -> { c with short_write = rate k v }
           | _ -> invalid_arg ("Faults.parse: unknown key " ^ k)))
     default
     (String.split_on_char ',' s)
@@ -78,10 +83,12 @@ type kind =
   | Delay
   | Crash_domain
   | User_raise
+  | Fsync_fail
+  | Short_write
 
 let all_kinds =
   [ Spurious_abort; Lock_fail; Validation_fail; Delay; Crash_domain;
-    User_raise ]
+    User_raise; Fsync_fail; Short_write ]
 
 let kind_name = function
   | Spurious_abort -> "spurious_abort"
@@ -90,6 +97,8 @@ let kind_name = function
   | Delay -> "delay"
   | Crash_domain -> "crash_domain"
   | User_raise -> "user_raise"
+  | Fsync_fail -> "fsync_fail"
+  | Short_write -> "short_write"
 
 let kind_index = function
   | Spurious_abort -> 0
@@ -98,8 +107,10 @@ let kind_index = function
   | Delay -> 3
   | Crash_domain -> 4
   | User_raise -> 5
+  | Fsync_fail -> 6
+  | Short_write -> 7
 
-let injected = Array.init 6 (fun _ -> Atomic.make 0)
+let injected = Array.init 8 (fun _ -> Atomic.make 0)
 
 let count k = Atomic.get injected.(kind_index k)
 let counts () = List.map (fun k -> (k, count k)) all_kinds
@@ -231,6 +242,30 @@ let inject_validation_fail () =
     eligible () && hit c.validation_fail
     && begin
          record Validation_fail;
+         true
+       end
+
+(* The WAL runs *after* an attempt commits (the durability hook fires in
+   [Retry_loop] once [leave_attempt] has run), so these are deliberately
+   not gated on [eligible]: a configured rate applies to every fsync /
+   flush regardless of transactional context. *)
+let inject_fsync_fail () =
+  match !config with
+  | None -> false
+  | Some c ->
+    hit c.fsync_fail
+    && begin
+         record Fsync_fail;
+         true
+       end
+
+let inject_short_write () =
+  match !config with
+  | None -> false
+  | Some c ->
+    hit c.short_write
+    && begin
+         record Short_write;
          true
        end
 

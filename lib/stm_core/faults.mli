@@ -26,6 +26,13 @@ type config = {
   user_raise : float;  (** foreign-exception probability per scheduling
                            point: raises {!Injected_failure}, which engines
                            must clean up after like any user exception *)
+  fsync_fail : float;  (** per WAL fsync: the sync reports failure and is
+                           skipped, so acknowledged durability lags — the
+                           records remain buffered for the next sync *)
+  short_write : float;  (** per WAL flush: only a prefix of the buffer
+                            reaches the file and the log is poisoned
+                            (subsequent appends are dropped), leaving a
+                            torn tail for recovery to truncate *)
 }
 
 val default : config
@@ -59,6 +66,8 @@ type kind =
   | Delay
   | Crash_domain
   | User_raise
+  | Fsync_fail
+  | Short_write
 
 val all_kinds : kind list
 val kind_name : kind -> string
@@ -79,6 +88,16 @@ val inject_lock_fail : unit -> bool
 val inject_validation_fail : unit -> bool
 (** [true]: the caller must treat this read-set validation as failed.
     Consulted by {!Rwsets.Rset.validate}. *)
+
+val inject_fsync_fail : unit -> bool
+(** [true]: the caller must treat this WAL fsync as failed (records stay
+    unacknowledged until a later sync covers them).  Unlike the
+    transactional faults above this is {e not} gated on being inside an
+    attempt — the WAL runs after the attempt has committed. *)
+
+val inject_short_write : unit -> bool
+(** [true]: the caller must write only a prefix of this WAL flush and
+    poison the log.  Not gated on being inside an attempt. *)
 
 val enter_attempt : unit -> unit
 (** Mark the current process as inside a transaction attempt; set by

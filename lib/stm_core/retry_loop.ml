@@ -32,6 +32,11 @@ let run ?cm ~stats f =
       if fi then Faults.leave_attempt ();
       if san then Sanitizer.audit_attempt ~before:g0 ~aborted:false;
       Stats.record_commit stats;
+      (* The attempt committed and its values are installed: fire the
+         record the engine staged (if any) into the write-ahead log.
+         Post-outcome is the only safe point — an engine-side append
+         could log an attempt that a later validation still aborts. *)
+      if !Runtime.durability then Durable.on_commit ();
       if detailed then begin
         Stats.record_commit_latency stats (Mclock.elapsed_ns t0);
         Stats.record_retry_depth stats n
@@ -40,6 +45,7 @@ let run ?cm ~stats f =
     | exception Control.Abort_tx reason ->
       if fi then Faults.leave_attempt ();
       if san then Sanitizer.audit_attempt ~before:g0 ~aborted:true;
+      if !Runtime.durability then Durable.discard_staged ();
       (* GV5 bumps the clock on aborts (no-op for GV1/GV4): a transaction
          that aborted on a lazily installed future version pulls the clock
          up so its next attempt's read stamp can cover that version. *)
@@ -50,6 +56,7 @@ let run ?cm ~stats f =
     | exception e ->
       if fi then Faults.leave_attempt ();
       if san then Sanitizer.audit_attempt ~before:g0 ~aborted:false;
+      if !Runtime.durability then Durable.discard_staged ();
       raise e
   in
   (* Serial-irrevocable fallback: take the global token, then retry until

@@ -62,6 +62,13 @@ val serial_reclaim_hook : (unit -> unit) ref
     token orphaned by a dead or stale holder is eventually reclaimed;
     installed by {!Recovery.enable}. *)
 
+val durability : bool ref
+(** Owned by [Persist] (lib/persist): set while a write-ahead log is open.
+    Engines consult it after installing a write set (stage the serialized
+    entries with {!Durable.stage}) and {!Retry_loop} consults it after
+    every top-level outcome (fire or discard the staged record), so the
+    hot path pays one load and branch while durability is off. *)
+
 val schedule_point : unit -> unit
 (** Invoke the yield hook with a {!Pure} annotation. *)
 

@@ -405,6 +405,23 @@ module Wset = struct
       Control.abort_tx Control.Poisoned
     end
 
+  (* Serialize the entries of registered persistent tvars.  Engines call
+     this right after [install_and_unlock] (guarded on
+     [Runtime.durability]): [pending] is attempt-private, so it stays
+     valid after the locks are gone, and capturing post-install keeps the
+     lock-holding window unchanged.  A [Poisoned] partial install aborts
+     above and never reaches this point, so a WAL record always describes
+     a fully published write set. *)
+  let capture_durable t =
+    let acc = ref [] in
+    Vec.iter
+      (fun (W e) ->
+        match Durable.encoder_for e.tv.Tvar.id with
+        | None -> ()
+        | Some (pid, enc) -> acc := (pid, enc (Obj.repr e.pending)) :: !acc)
+      t.entries;
+    !acc
+
   let validate_no_foreign_lock t ~owner =
     Vec.for_all
       (fun (W e) ->

@@ -130,6 +130,13 @@ module Wset : sig
       simulated-crash path, where the orphaned locks are deliberately left
       held for recovery to reclaim while the scratch set is reused. *)
 
+  val capture_durable : t -> (int * string) list
+  (** Serialize the pending values of entries whose tvar has a registered
+      {!Durable} encoder, as [(persistent id, bytes)] pairs; [[]] when the
+      set touches no persistent tvar.  Call right after
+      {!install_and_unlock} (pending values are attempt-private and
+      outlive the locks), guarded on [Runtime.durability]. *)
+
   val validate_no_foreign_lock : t -> owner:int -> bool
   (** No entry is locked by a transaction other than [owner]. *)
 end

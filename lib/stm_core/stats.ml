@@ -307,6 +307,47 @@ let reset_recovery_counters () =
   Atomic.set lease_expiries_c 0;
   Atomic.set poisoned_commits_c 0
 
+(* Durability counters are process-global for the same reason: the WAL is
+   one process-wide log below any engine instance, and [Durable.on_commit]
+   has no [t] in hand. *)
+type durable_counters = {
+  durable_commits : int;  (** commits that staged at least one entry *)
+  wal_appends : int;  (** records enqueued to the WAL buffer *)
+  wal_syncs : int;  (** completed fsyncs *)
+  wal_sync_failures : int;  (** injected/real fsync failures *)
+  wal_short_writes : int;  (** injected short writes (log poisoned) *)
+}
+
+let durable_commits_c = Padding.atomic 0
+let wal_appends_c = Padding.atomic 0
+let wal_syncs_c = Padding.atomic 0
+let wal_sync_failures_c = Padding.atomic 0
+let wal_short_writes_c = Padding.atomic 0
+
+let record_durable_commit () = ignore (Atomic.fetch_and_add durable_commits_c 1)
+let record_wal_append () = ignore (Atomic.fetch_and_add wal_appends_c 1)
+let record_wal_sync () = ignore (Atomic.fetch_and_add wal_syncs_c 1)
+
+let record_wal_sync_failure () =
+  ignore (Atomic.fetch_and_add wal_sync_failures_c 1)
+
+let record_wal_short_write () =
+  ignore (Atomic.fetch_and_add wal_short_writes_c 1)
+
+let durable_counters () =
+  { durable_commits = Atomic.get durable_commits_c;
+    wal_appends = Atomic.get wal_appends_c;
+    wal_syncs = Atomic.get wal_syncs_c;
+    wal_sync_failures = Atomic.get wal_sync_failures_c;
+    wal_short_writes = Atomic.get wal_short_writes_c }
+
+let reset_durable_counters () =
+  Atomic.set durable_commits_c 0;
+  Atomic.set wal_appends_c 0;
+  Atomic.set wal_syncs_c 0;
+  Atomic.set wal_sync_failures_c 0;
+  Atomic.set wal_short_writes_c 0
+
 let abort_rate (s : snapshot) =
   let total = s.commits + s.aborts in
   if total = 0 then 0.0 else float_of_int s.aborts /. float_of_int total

@@ -138,6 +138,28 @@ val record_poisoned_commit : unit -> unit
 val recovery_counters : unit -> recovery_counters
 val reset_recovery_counters : unit -> unit
 
+(** {1 Durability counters}
+
+    Process-global (not per-STM): the write-ahead log is one process-wide
+    log below any engine instance.  Reported additively in run JSON when
+    durability is enabled. *)
+
+type durable_counters = {
+  durable_commits : int;  (** commits that staged at least one entry *)
+  wal_appends : int;  (** records enqueued to the WAL buffer *)
+  wal_syncs : int;  (** completed fsyncs *)
+  wal_sync_failures : int;  (** injected/real fsync failures *)
+  wal_short_writes : int;  (** injected short writes (log poisoned) *)
+}
+
+val record_durable_commit : unit -> unit
+val record_wal_append : unit -> unit
+val record_wal_sync : unit -> unit
+val record_wal_sync_failure : unit -> unit
+val record_wal_short_write : unit -> unit
+val durable_counters : unit -> durable_counters
+val reset_durable_counters : unit -> unit
+
 val abort_rate : snapshot -> float
 (** aborts / (aborts + commits), or 0 when no transaction ran. *)
 

@@ -8,8 +8,8 @@
    flagged at the call site inside the transaction.  Suppression is
    attribute-based — [[@txlint.allow "<kind>" "<reason>"]] on an
    expression, a [let] binding, a module binding, or the whole file
-   ([[@@@txlint.allow ...]]) — replacing the v1 path-suffix whitelists,
-   which survive one release behind [~legacy_whitelists]. *)
+   ([[@@@txlint.allow ...]]), which fully replaced the v1 path-suffix
+   whitelists (retired after their one release of grace). *)
 
 type kind =
   | Catch_all
@@ -85,46 +85,7 @@ let finding_to_json f =
     {|{"file":"%s","line":%d,"col":%d,"kind":"%s","msg":"%s"}|}
     (json_escape f.file) f.line f.col (kind_name f.kind) (json_escape f.msg)
 
-(* --- legacy path-suffix whitelists (one release, --legacy-whitelists) - *)
-
-(* The v1 policy: whole files sanctioned by path suffix.  Replaced by
-   [@txlint.allow] annotations at the sites themselves; kept so a
-   downstream checkout pinned to the old policy can still lint. *)
-let default_escape_whitelist =
-  [
-    "lib/stm_core/tvar.ml";
-    "lib/stm_core/rwsets.ml";
-    "lib/stm_core/stm_intf.ml";
-    "lib/classic_stm/classic_stm.ml";
-    "lib/oestm/oestm.ml";
-    "lib/viewstm/viewstm.ml";
-    "lib/eec/skip_list_set.ml";
-    "lib/eec/sorted_chain.ml";
-    "lib/seqds/seqds.ml";
-    "lib/harness/target.ml";
-    "lib/harness/chaos.ml";
-    "bin/history_check.ml";
-    "examples/move_rebalance.ml";
-    "examples/insert_if_absent_race.ml";
-  ]
-
-let default_obj_magic_whitelist = [ "lib/stm_core/rwsets.ml" ]
-let default_crash_whitelist = [ "lib/harness/chaos.ml" ]
-
 let escape_names = Summary.escape_names
-
-(* Suffix match on '/'-normalised paths, aligned to a component boundary,
-   so "lib/harness/chaos.ml" matches "/root/repo/lib/harness/chaos.ml"
-   but not "lib/harness/not_chaos.ml". *)
-let path_matches file suffix =
-  let norm s = String.map (fun c -> if c = '\\' then '/' else c) s in
-  let file = norm file and suffix = norm suffix in
-  let lf = String.length file and ls = String.length suffix in
-  lf >= ls
-  && String.sub file (lf - ls) ls = suffix
-  && (lf = ls || file.[lf - ls - 1] = '/')
-
-let whitelisted file wl = List.exists (path_matches file) wl
 
 (* --- suppression regions ([@txlint.allow "kind" "reason"]) ----------- *)
 
@@ -503,20 +464,13 @@ let parse_source ~filename source =
     | Some `Already_displayed -> Error (filename ^ ": parse error")
     | None -> raise e)
 
-let legacy_suppressed f =
-  match f.kind with
-  | Stm_escape | Tx_escape -> whitelisted f.file default_escape_whitelist
-  | Obj_magic -> whitelisted f.file default_obj_magic_whitelist
-  | Crash_swallowed -> whitelisted f.file default_crash_whitelist
-  | _ -> false
-
 let compare_findings a b =
   compare
     (a.file, a.line, a.col, kind_name a.kind, a.msg)
     (b.file, b.line, b.col, kind_name b.kind, b.msg)
 
-let analyze ?(legacy_whitelists = false) ?wrapper_of
-    (sources : (string * string) list) : finding list * string list =
+let analyze ?wrapper_of (sources : (string * string) list) :
+    finding list * string list =
   (* Reverse-accumulate, reverse once: linear in the number of files and
      findings (the v1 fold appended per file, going quadratic on large
      trees). *)
@@ -554,8 +508,7 @@ let analyze ?(legacy_whitelists = false) ?wrapper_of
                     (fun r ->
                       r.rg_kind = kind_name f.kind
                       && in_region r (f.line, f.col))
-                    regions
-                 || (legacy_whitelists && legacy_suppressed f)))
+                    regions))
           !raw
       in
       push bad;
@@ -563,13 +516,11 @@ let analyze ?(legacy_whitelists = false) ?wrapper_of
     parsed;
   (List.sort_uniq compare_findings !findings, List.rev !errors)
 
-let lint_string ?legacy_whitelists ~filename source =
+let lint_string ~filename source =
   match parse_source ~filename source with
   | Error msg -> Error msg
   | Ok _ ->
-    let findings, _errors =
-      analyze ?legacy_whitelists [ (filename, source) ]
-    in
+    let findings, _errors = analyze [ (filename, source) ] in
     Ok findings
 
 let read_file file =
@@ -577,15 +528,15 @@ let read_file file =
   | source -> Ok source
   | exception Sys_error msg -> Error msg
 
-let lint_file ?legacy_whitelists file =
+let lint_file file =
   match read_file file with
   | Error msg -> Error msg
-  | Ok source -> lint_string ?legacy_whitelists ~filename:file source
+  | Ok source -> lint_string ~filename:file source
 
 (* Whole-set analysis: one parse per file, one shared call graph.  The
    result covers cross-file reachability that [lint_file] alone cannot
    see. *)
-let lint_files ?legacy_whitelists files =
+let lint_files files =
   let sources = ref [] and errors = ref [] in
   List.iter
     (fun file ->
@@ -593,9 +544,7 @@ let lint_files ?legacy_whitelists files =
       | Ok src -> sources := (file, src) :: !sources
       | Error msg -> errors := msg :: !errors)
     files;
-  let findings, parse_errors =
-    analyze ?legacy_whitelists (List.rev !sources)
-  in
+  let findings, parse_errors = analyze (List.rev !sources) in
   (findings, List.rev_append !errors parse_errors)
 
 let ml_files_under roots =

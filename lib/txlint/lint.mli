@@ -44,7 +44,8 @@
     [[@txlint.allow "<kind>" "<reason>"]] on an expression, [let]
     binding or module binding, or [[@@@txlint.allow ...]] floating in a
     structure (covers the rest of the file).  The v1 path-suffix
-    whitelists survive one release behind [~legacy_whitelists]. *)
+    whitelists are gone: annotation at the site is the only
+    suppression. *)
 
 type kind =
   | Catch_all  (** exception handler that swallows every exception *)
@@ -91,14 +92,7 @@ val escape_names : string list
 (** The escape-hatch value names: [peek], [unsafe_write],
     [unsafe_preload]. *)
 
-val default_escape_whitelist : string list
-(** v1 path suffixes allowed to use the escape hatches (legacy). *)
-
-val default_obj_magic_whitelist : string list
-val default_crash_whitelist : string list
-
 val analyze :
-  ?legacy_whitelists:bool ->
   ?wrapper_of:(string -> string option) ->
   (string * string) list ->
   finding list * string list
@@ -106,24 +100,17 @@ val analyze :
     of [(filename, source)] pairs: one parse per file, one shared
     symbol index and summary fixpoint.  Returns findings (sorted by
     file, position, kind; deduplicated) and parse-error messages.
-    [~legacy_whitelists:true] additionally applies the v1 path-suffix
-    whitelists.  [~wrapper_of] overrides the dune-probe used to map a
-    file to its library wrapper module (used by tests to analyze
-    in-memory sources). *)
+    [~wrapper_of] overrides the dune-probe used to map a file to its
+    library wrapper module (used by tests to analyze in-memory
+    sources). *)
 
-val lint_string :
-  ?legacy_whitelists:bool ->
-  filename:string ->
-  string ->
-  (finding list, string) result
+val lint_string : filename:string -> string -> (finding list, string) result
 (** Single-unit analysis — no cross-file edges, so strictly weaker than
     {!analyze} on the same file set.  [Error msg] on a parse failure. *)
 
-val lint_file :
-  ?legacy_whitelists:bool -> string -> (finding list, string) result
+val lint_file : string -> (finding list, string) result
 
-val lint_files :
-  ?legacy_whitelists:bool -> string list -> finding list * string list
+val lint_files : string list -> finding list * string list
 (** Read and {!analyze} many files together; unreadable files are
     reported in the error list, not skipped silently. *)
 

@@ -20,7 +20,7 @@ end
 
 module Make (_ : sig
   val name : string
-end) : S
+end) : S with type 'a tvar = 'a Stm_core.Tvar.t
 
 (** The default view-transaction instance. *)
-module V : S
+module V : S with type 'a tvar = 'a Stm_core.Tvar.t

@@ -46,6 +46,7 @@ let () =
        ("cm", Test_cm.suite);
        ("faults", Test_faults.suite);
        ("recovery", Test_recovery.suite);
+       ("persist", Test_persist.suite);
        ("exception-safety", Test_exception_safety.suite);
        ("chaos", Test_chaos.suite);
        ("sanitizer", Test_sanitizer.suite);

@@ -274,6 +274,7 @@ let golden_json =
   },
   "sanitizer": null,
   "recovery": null,
+  "durability": null,
   "figures": [
     {
       "figure": "6a",

@@ -156,27 +156,22 @@ let test_bad_allow () =
     (has Lint.Bad_allow
        (lint "let f tv = (S.peek tv [@txlint.allow \"stm-escape\" \"\"])"))
 
-let test_legacy_whitelists () =
+(* The v1 path-suffix whitelists are fully retired: a formerly
+   whitelisted path gets no special treatment — only a site annotation
+   suppresses. *)
+let test_whitelists_retired () =
   let src = "let f tv = S.peek tv" in
-  let flagged legacy =
-    match
-      Lint.lint_string ~legacy_whitelists:legacy
-        ~filename:"lib/harness/target.ml" src
-    with
-    | Ok fs -> has Lint.Stm_escape fs
-    | Error e -> Alcotest.failf "parse: %s" e
-  in
-  Alcotest.(check bool) "v1 whitelist honoured with the flag" false
-    (flagged true);
-  Alcotest.(check bool) "whitelist retired without the flag" true
-    (flagged false);
-  (* Suffix must align to a path component, exactly as in v1. *)
+  (match Lint.lint_string ~filename:"lib/harness/target.ml" src with
+  | Ok fs ->
+    Alcotest.(check bool) "formerly whitelisted path is flagged" true
+      (has Lint.Stm_escape fs)
+  | Error e -> Alcotest.failf "parse: %s" e);
   match
-    Lint.lint_string ~legacy_whitelists:true
-      ~filename:"lib/harness/not_target.ml" src
+    Lint.lint_string ~filename:"lib/harness/target.ml"
+      "let f tv = (S.peek tv [@txlint.allow \"stm-escape\" \"test\"])"
   with
   | Ok fs ->
-    Alcotest.(check bool) "suffix cannot match mid-name" true
+    Alcotest.(check bool) "annotation still suppresses there" false
       (has Lint.Stm_escape fs)
   | Error e -> Alcotest.failf "parse: %s" e
 
@@ -360,6 +355,29 @@ let test_sarif_minimum_schema () =
       Alcotest.(check int) "one rule per kind"
         (List.length Lint.all_kinds) (List.length rules)
     | _ -> Alcotest.fail "missing driver.rules");
+    (* Run-level artifact index: one entry per distinct file, resolvable
+       to an absolute path through originalUriBaseIds. *)
+    (match R.member "originalUriBaseIds" run with
+    | Some bases -> (
+      match R.member "SRCROOT" bases with
+      | Some b ->
+        let uri = str_member "uri" b in
+        Alcotest.(check bool) "SRCROOT is a file uri" true
+          (String.length uri > 8 && String.sub uri 0 7 = "file://");
+        Alcotest.(check bool) "SRCROOT ends with a slash" true
+          (uri.[String.length uri - 1] = '/')
+      | None -> Alcotest.fail "missing originalUriBaseIds.SRCROOT")
+    | None -> Alcotest.fail "missing originalUriBaseIds");
+    (match R.member "artifacts" run with
+    | Some (R.List [ a ]) ->
+      (match R.member "location" a with
+      | Some l ->
+        Alcotest.(check string) "artifact location uri" "lib/x/mem_sarif.ml"
+          (str_member "uri" l);
+        Alcotest.(check string) "artifact uriBaseId" "SRCROOT"
+          (str_member "uriBaseId" l)
+      | None -> Alcotest.fail "missing artifact.location")
+    | _ -> Alcotest.fail "expected exactly one artifact");
     (match R.member "results" run with
     | Some (R.List [ result ]) -> (
       Alcotest.(check string) "ruleId" "stm-escape"
@@ -372,10 +390,18 @@ let test_sarif_minimum_schema () =
       | Some (R.List [ loc ]) -> (
         match R.member "physicalLocation" loc with
         | Some pl ->
-          Alcotest.(check string) "artifact uri" "lib/x/mem_sarif.ml"
-            (match R.member "artifactLocation" pl with
-            | Some a -> str_member "uri" a
-            | None -> "");
+          (match R.member "artifactLocation" pl with
+          | Some a ->
+            let int_member k j =
+              match R.member k j with Some (R.Int i) -> i | _ -> -1
+            in
+            Alcotest.(check string) "artifact uri" "lib/x/mem_sarif.ml"
+              (str_member "uri" a);
+            Alcotest.(check string) "result uriBaseId" "SRCROOT"
+              (str_member "uriBaseId" a);
+            Alcotest.(check int) "index into run.artifacts" 0
+              (int_member "index" a)
+          | None -> Alcotest.fail "missing artifactLocation");
           (match R.member "region" pl with
           | Some rg ->
             let int_member k j =
@@ -465,8 +491,8 @@ let suite =
     Alcotest.test_case "allow is kind-specific" `Quick
       test_allow_is_kind_specific;
     Alcotest.test_case "malformed allows reported" `Quick test_bad_allow;
-    Alcotest.test_case "legacy whitelists one release" `Quick
-      test_legacy_whitelists;
+    Alcotest.test_case "path whitelists retired" `Quick
+      test_whitelists_retired;
     Alcotest.test_case "tx-escape direct" `Quick test_tx_escape_direct;
     Alcotest.test_case "tx-swallow via helper" `Quick
       test_tx_swallow_via_helper;
